@@ -1,0 +1,118 @@
+"""Shared harness for the benchmark suite.
+
+Running the three abstraction engines over all eight workloads is the
+expensive part of every table/figure; this module computes it once per
+process and caches the outcome, so individual benchmarks only pay for
+the unit they actually measure.
+
+Every engine run is verified against the workload's Python reference —
+a benchmark row is only reported for *correct* transformations.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import Table1Row
+from repro.dfg.builder import build_dfgs
+from repro.dfg.graph import FLOW_KINDS
+from repro.pa.driver import PAConfig, PAResult, run_pa
+from repro.pa.sfx import SFXConfig, run_sfx
+from repro.workloads import PROGRAMS, compile_workload, verify_workload
+
+#: Engine configurations used for the headline comparison.
+ENGINES = ("sfx", "dgspan", "edgar")
+
+
+@dataclass
+class EngineRun:
+    saved: int
+    rounds: int
+    calls: int
+    crossjumps: int
+    seconds: float
+    lattice_nodes: int
+
+
+@dataclass
+class SuiteResults:
+    """All engine runs over all workloads."""
+
+    instructions: Dict[str, int] = field(default_factory=dict)
+    runs: Dict[Tuple[str, str], EngineRun] = field(default_factory=dict)
+
+    def table1_rows(self) -> List[Table1Row]:
+        return [
+            Table1Row(
+                program=name,
+                instructions=self.instructions[name],
+                sfx=self.runs[(name, "sfx")].saved,
+                dgspan=self.runs[(name, "dgspan")].saved,
+                edgar=self.runs[(name, "edgar")].saved,
+            )
+            for name in PROGRAMS
+        ]
+
+    def totals(self) -> Dict[str, int]:
+        return {
+            engine: sum(
+                self.runs[(name, engine)].saved for name in PROGRAMS
+            )
+            for engine in ENGINES
+        }
+
+    def mechanisms(self) -> Dict[str, Tuple[int, int]]:
+        out = {}
+        for engine in ENGINES:
+            calls = sum(self.runs[(n, engine)].calls for n in PROGRAMS)
+            xjumps = sum(self.runs[(n, engine)].crossjumps for n in PROGRAMS)
+            out[engine] = (calls, xjumps)
+        return out
+
+
+def run_engine(name: str, engine: str, **overrides) -> Tuple[PAResult, float]:
+    """Run one engine on one workload, verified; returns (result, secs)."""
+    import time
+
+    module = compile_workload(name)
+    started = time.perf_counter()
+    if engine == "sfx":
+        result = run_sfx(module, SFXConfig(**overrides)
+                         if overrides else None)
+    else:
+        overrides.setdefault("time_budget", 180.0)
+        result = run_pa(module, PAConfig(miner=engine, **overrides))
+    elapsed = time.perf_counter() - started
+    verify_workload(name, module)
+    return result, elapsed
+
+
+@functools.lru_cache(maxsize=1)
+def suite_results() -> SuiteResults:
+    """The full (verified) engine x workload grid, computed once."""
+    results = SuiteResults()
+    for name in PROGRAMS:
+        results.instructions[name] = compile_workload(name).num_instructions
+        for engine in ENGINES:
+            result, elapsed = run_engine(name, engine)
+            results.runs[(name, engine)] = EngineRun(
+                saved=result.saved,
+                rounds=result.rounds,
+                calls=result.call_extractions,
+                crossjumps=result.crossjump_extractions,
+                seconds=elapsed,
+                lattice_nodes=result.lattice_nodes,
+            )
+    return results
+
+
+@functools.lru_cache(maxsize=None)
+def workload_dfgs(name: str, flow_only: bool = False):
+    """DFG database of one workload (for the shape tables)."""
+    module = compile_workload(name)
+    kinds = FLOW_KINDS if flow_only else None
+    if kinds is None:
+        return build_dfgs(module, min_nodes=1)
+    return build_dfgs(module, min_nodes=1, mined_kinds=kinds)

@@ -1,0 +1,34 @@
+"""Fig. 11: relative increase of savings of graph-based PA over SFX.
+
+Paper: Edgar improves on SFX by ~160% on average (factor 2.6 in total),
+with rijndael the best case (+266%) and bitcnts the worst (+52%).
+Our reimplemented substrate compresses the dynamic range, so the
+assertions target the ordering properties rather than the magnitudes.
+"""
+
+from repro.analysis.figures import format_fig11
+
+from benchmarks.harness import suite_results
+
+
+def test_fig11(benchmark):
+    results = benchmark.pedantic(suite_results, rounds=1, iterations=1)
+    rows = results.table1_rows()
+    print()
+    print(format_fig11(rows))
+
+    # Edgar stays at or near the baseline on every program (small
+    # absolute slack: the reimplemented code generator hands the
+    # sequence matcher some disconnected-but-contiguous duplication
+    # that connected-subgraph mining cannot represent; see
+    # EXPERIMENTS.md)
+    for row in rows:
+        assert row.edgar >= row.sfx - 4, row.program
+
+    # and improves strictly overall
+    totals = results.totals()
+    assert totals["edgar"] > totals["sfx"]
+
+    # Edgar's improvement over SFX is at least as large as DgSpan's
+    # (embedding counting only ever adds occurrences)
+    assert totals["edgar"] >= totals["dgspan"]

@@ -1,0 +1,25 @@
+"""Fig. 12: extraction mechanisms used by SFX, DgSpan, and Edgar.
+
+Paper: "in all test constellations, cross jump extraction occurs seldom
+since to be applicable, a fragment must end with a (rare) return or
+jump instruction.  Otherwise the fragment is moved into a new
+procedure."
+"""
+
+from repro.analysis.figures import format_fig12
+
+from benchmarks.harness import suite_results
+
+
+def test_fig12(benchmark):
+    results = benchmark.pedantic(suite_results, rounds=1, iterations=1)
+    mechanisms = results.mechanisms()
+    print()
+    print(format_fig12(mechanisms))
+
+    for engine, (calls, crossjumps) in mechanisms.items():
+        total = calls + crossjumps
+        assert total > 0, engine
+        # procedure calls dominate; cross jumps are the rare case
+        assert calls >= crossjumps, engine
+        assert crossjumps <= total * 0.5, engine

@@ -1,0 +1,45 @@
+"""Table 1: saved instructions per program — SFX vs DgSpan vs Edgar.
+
+Paper values (for shape comparison; our substrate is a reimplemented
+toolchain, so absolute numbers differ):
+
+    total instructions 36698; SFX 480, DgSpan 749, Edgar 1238
+    => Edgar/SFX = 2.6x, and Edgar >= DgSpan on every program.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table1
+from repro.pa.driver import PAConfig, run_pa
+from repro.workloads import PROGRAMS, compile_workload
+
+from benchmarks.harness import suite_results
+
+
+def test_table1(benchmark):
+    # measured unit: one full Edgar run on the smallest workload
+    def edgar_once():
+        module = compile_workload("crc")
+        return run_pa(module, PAConfig(miner="edgar")).saved
+
+    saved = benchmark.pedantic(edgar_once, rounds=1, iterations=1)
+    assert saved > 0
+
+    results = suite_results()
+    rows = results.table1_rows()
+    print()
+    print(format_table1(rows))
+
+    totals = results.totals()
+    # --- paper shape assertions -------------------------------------
+    # every engine shrinks the suite
+    assert totals["sfx"] > 0
+    assert totals["dgspan"] > 0
+    assert totals["edgar"] > 0
+    # graph-based PA beats the suffix trie overall
+    assert totals["edgar"] > totals["sfx"]
+    # embedding counting beats graph counting overall
+    assert totals["edgar"] >= totals["dgspan"]
+    # Edgar is never behind DgSpan on any single program
+    for row in rows:
+        assert row.edgar >= row.dgspan, row.program

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: shrink an ARM program with graph-based procedural abstraction.
+
+Three functions compute the same 6-instruction value in different
+instruction orders.  Sequence-based tools cannot unify them; the graph
+miner can.  We assemble, abstract, re-link, and run the program before
+and after to show behaviour is preserved while the text shrinks.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.binary import layout, module_from_asm
+from repro.isa.assembler import parse_program
+from repro.pa import PAConfig, run_pa
+from repro.sim import run_image
+
+PROGRAM = """
+.text
+.global _start
+_start:
+    bl f1
+    swi #2
+    bl f2
+    swi #2
+    bl f3
+    swi #2
+    mov r0, #0
+    swi #0
+f1:
+    push {r4, r5, r6, lr}
+    mov r1, #3
+    mov r2, #5
+    add r3, r1, r2
+    mul r4, r3, r1
+    sub r5, r4, #2
+    eor r6, r5, r1
+    mov r0, r6
+    pop {r4, r5, r6, pc}
+f2:
+    push {r4, r5, r6, r7, lr}
+    mov r1, #3
+    mov r7, #9
+    mov r2, #5
+    add r3, r1, r2
+    add r7, r7, #1
+    mul r4, r3, r1
+    eor r7, r7, r3
+    sub r5, r4, #2
+    eor r6, r5, r1
+    add r0, r6, r7
+    pop {r4, r5, r6, r7, pc}
+f3:
+    push {r4, r5, r6, lr}
+    mov r2, #5
+    mov r1, #3
+    add r3, r1, r2
+    mul r4, r3, r1
+    sub r5, r4, #2
+    eor r6, r5, r1
+    add r0, r6, #100
+    pop {r4, r5, r6, pc}
+"""
+
+
+def main() -> None:
+    module = module_from_asm(parse_program(PROGRAM), entry="_start")
+    before = run_image(layout(module))
+    size_before = module.num_instructions
+    print(f"before: {size_before} instructions, "
+          f"output {before.output_text!r}")
+
+    result = run_pa(module, PAConfig(miner="edgar"))
+
+    after = run_image(layout(module))
+    print(f"after:  {module.num_instructions} instructions, "
+          f"output {after.output_text!r}")
+    print(f"saved {result.saved} instructions in {result.rounds} rounds")
+    for record in result.records:
+        print(f"  round {record.round}: {record.method} x{record.occurrences}"
+              f" of {record.size} instructions -> {record.new_symbol}")
+
+    assert after.output == before.output and after.exit_code == before.exit_code
+    print("\ncompacted program:")
+    print(module.render())
+
+
+if __name__ == "__main__":
+    main()

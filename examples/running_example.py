@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The paper's running example (Figs. 1-6), step by step.
+
+Builds the data-flow graph of the 7-instruction ARM block of Fig. 1,
+shows why the suffix trie only sees a 2-instruction repeat while the
+graph miner finds 3-instruction fragments, and reproduces the 8 vs 7
+instruction arithmetic of Figs. 3-5.
+
+Run:  python examples/running_example.py
+"""
+
+from repro.binary.program import BasicBlock
+from repro.dfg.builder import build_dfg
+from repro.dfg.graph import FLOW_KINDS
+from repro.isa.assembler import parse_instruction
+from repro.mining.edgar import Edgar, non_overlapping_embeddings
+
+FIG1 = [
+    "ldr r3, [r1], #4",
+    "sub r2, r2, r3",
+    "add r4, r2, #4",
+    "ldr r3, [r1], #4",
+    "sub r2, r2, r3",
+    "ldr r3, [r1], #4",
+    "add r4, r2, #4",
+]
+
+
+def main() -> None:
+    print("Fig. 1 basic block:")
+    for i, text in enumerate(FIG1):
+        print(f"  {i}: {text}")
+
+    block = BasicBlock(instructions=[parse_instruction(t) for t in FIG1])
+    dfg = build_dfg(block, mined_kinds=FLOW_KINDS)
+    print("\nFig. 2 data-flow edges:")
+    for src, dst, kind in sorted(dfg.edges):
+        print(f"  {src} -{kind}-> {dst}   "
+              f"({dfg.labels[src]}  ->  {dfg.labels[dst]})")
+
+    # suffix-trie view: longest repeated contiguous sequence
+    best = 0
+    for length in range(2, len(FIG1)):
+        for start in range(len(FIG1) - length + 1):
+            needle = FIG1[start:start + length]
+            occurrences = sum(
+                1 for s in range(len(FIG1) - length + 1)
+                if FIG1[s:s + length] == needle
+            )
+            if occurrences >= 2:
+                best = max(best, length)
+    print(f"\nSuffix trie: longest repeated sequence = {best} instructions "
+          "(ldr; sub)")
+    print("Fig. 3 arithmetic: outlining it twice leaves 5 + 3 = 8 "
+          "instructions")
+
+    miner = Edgar(min_support=2, min_nodes=3, max_nodes=3)
+    fragments = miner.mine([dfg])
+    print(f"\nGraph miner: {len(fragments)} frequent 3-node fragment(s) "
+          "with two non-overlapping embeddings (Figs. 4/5):")
+    for fragment in fragments:
+        chosen = non_overlapping_embeddings(fragment.embeddings)
+        print(f"  {fragment.node_labels}")
+        for emb in chosen:
+            print(f"    occurrence at block positions {sorted(emb.nodes)}")
+    print("Fig. 4 arithmetic: outlining a 3-node fragment twice leaves "
+          "3 + 4 = 7 instructions")
+
+    # Fig. 8: overlapping embeddings of a larger fragment
+    miner4 = Edgar(min_support=2, min_nodes=4, max_nodes=4)
+    overlapping = miner4.mine([dfg])
+    print(f"\n4-node fragments with two disjoint embeddings: "
+          f"{len(overlapping)} (Fig. 8: the candidates overlap on a "
+          "shared ldr, so none qualifies)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Graph-Based Procedural Abstraction — CGO 2007 reproduction.
+
+The package reproduces Dreweke et al., "Graph-Based Procedural
+Abstraction" (CGO 2007): post link-time code compaction that mines the
+data-flow graphs of basic blocks for frequent fragments and outlines
+them into procedures, together with every substrate the paper's system
+needs (ARM-subset ISA and simulator, a size-oriented mini-C compiler,
+the binary rewriting framework, the DgSpan/Edgar graph miners, and the
+suffix-trie baseline).
+
+Typical use::
+
+    from repro import PAConfig, run_pa, compile_to_module
+    from repro.binary import layout
+    from repro.sim import run_image
+
+    module = compile_to_module(open("prog.c").read())
+    before = run_image(layout(module))
+    result = run_pa(module, PAConfig(miner="edgar"))
+    after = run_image(layout(module))
+    assert after.output == before.output
+    print(result.saved, "instructions saved")
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.binary.blocks import module_from_asm
+from repro.binary.layout import layout
+from repro.binary.loader import load_image
+from repro.binary.program import BasicBlock, Function, Module
+from repro.minicc.driver import (
+    compile_to_asm,
+    compile_to_image,
+    compile_to_module,
+)
+from repro.pa.driver import PAConfig, PAResult, run_pa
+from repro.pa.sfx import SFXConfig, run_sfx
+from repro.sim.machine import run_image
+from repro.workloads import PROGRAMS, compile_workload, verify_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "module_from_asm",
+    "layout",
+    "load_image",
+    "Module",
+    "Function",
+    "BasicBlock",
+    "compile_to_asm",
+    "compile_to_image",
+    "compile_to_module",
+    "PAConfig",
+    "PAResult",
+    "run_pa",
+    "SFXConfig",
+    "run_sfx",
+    "run_image",
+    "PROGRAMS",
+    "compile_workload",
+    "verify_workload",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Reporting: regenerate the paper's tables and figures as text."""
+
+from repro.analysis.tables import (
+    Table1Row,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+from repro.analysis.figures import format_fig11, format_fig12
+
+__all__ = [
+    "Table1Row",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_fig11",
+    "format_fig12",
+]

@@ -1,0 +1,100 @@
+"""Text renderings of the paper's tables.
+
+The benchmark harness produces the raw numbers; these helpers lay them
+out in the same row/column shapes as the paper so results can be
+compared side by side (EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.dfg.graph import DFG
+from repro.dfg.stats import DegreeHistogram, FanoutSummary
+
+
+@dataclass
+class Table1Row:
+    """One program's saved-instruction counts (paper Table 1)."""
+
+    program: str
+    instructions: int
+    sfx: int
+    dgspan: int
+    edgar: int
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render Table 1: saved instructions in the benchmark suite."""
+    lines = [
+        "Table 1. Saved instructions in the benchmark suite.",
+        f"{'Program':12s} {'# Instructions':>14s} {'SFX':>6s} "
+        f"{'DgSpan':>7s} {'Edgar':>6s}",
+    ]
+    total = Table1Row("total", 0, 0, 0, 0)
+    for row in rows:
+        lines.append(
+            f"{row.program:12s} {row.instructions:14d} {row.sfx:6d} "
+            f"{row.dgspan:7d} {row.edgar:6d}"
+        )
+        total.instructions += row.instructions
+        total.sfx += row.sfx
+        total.dgspan += row.dgspan
+        total.edgar += row.edgar
+    lines.append(
+        f"{'total':12s} {total.instructions:14d} {total.sfx:6d} "
+        f"{total.dgspan:7d} {total.edgar:6d}"
+    )
+    if total.sfx:
+        lines.append(
+            f"Edgar/SFX improvement: {total.edgar / total.sfx:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(per_program: Dict[str, FanoutSummary]) -> str:
+    """Render Table 2: instructions with (deg_in | deg_out) > 1."""
+    lines = [
+        "Table 2. Number of instructions with (degree_IN v degree_OUT) > 1",
+        f"{'Program':12s} {'degree > 1':>11s} {'degree <= 1':>12s} "
+        f"{'fraction':>9s}",
+    ]
+    high_total = low_total = 0
+    for program, summary in per_program.items():
+        lines.append(
+            f"{program:12s} {summary.high_degree:11d} "
+            f"{summary.low_degree:12d} {summary.high_fraction:9.2%}"
+        )
+        high_total += summary.high_degree
+        low_total += summary.low_degree
+    fraction = high_total / (high_total + low_total) if high_total else 0.0
+    lines.append(
+        f"{'total':12s} {high_total:11d} {low_total:12d} {fraction:9.2%}"
+    )
+    return "\n".join(lines)
+
+
+def format_table3(per_program: Dict[str, DegreeHistogram]) -> str:
+    """Render Table 3: in/out-degree histogram of all instructions."""
+    header = " ".join(f"{b:>6s}" for b in DegreeHistogram.BUCKETS)
+    lines = [
+        "Table 3. Indegree and outdegree of all instructions.",
+        f"{'Program':12s} {'Type':4s} {header}",
+    ]
+    in_total = [0] * 5
+    out_total = [0] * 5
+    for program, hist in per_program.items():
+        in_row = " ".join(f"{v:6d}" for v in hist.in_counts)
+        out_row = " ".join(f"{v:6d}" for v in hist.out_counts)
+        lines.append(f"{program:12s} {'In':4s} {in_row}")
+        lines.append(f"{'':12s} {'Out':4s} {out_row}")
+        in_total = [a + b for a, b in zip(in_total, hist.in_counts)]
+        out_total = [a + b for a, b in zip(out_total, hist.out_counts)]
+    lines.append(
+        f"{'total':12s} {'In':4s} " + " ".join(f"{v:6d}" for v in in_total)
+    )
+    lines.append(
+        f"{'':12s} {'Out':4s} " + " ".join(f"{v:6d}" for v in out_total)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Function and basic-block splitting (paper §2.1 steps 2 and 5).
+
+``module_from_asm`` turns a flat label/instruction sequence — either the
+mini-C compiler's output or the loader's recovered program — into the
+structured :class:`~repro.binary.program.Module` form:
+
+* **function entries** are the entry symbol, every ``bl`` target, and
+  every text label whose address is taken (referenced from a ``ldr
+  =label`` pseudo or from a data word); address-taken functions are
+  marked ``pa_exempt`` because they may be reached through function
+  pointers whose targets points-to analysis cannot bound in general,
+* **block leaders** are function entries, branch targets, and the
+  instructions following a terminator or a conditional branch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.isa.assembler import AsmModule, DataWord, Item, Label
+from repro.isa.instructions import Instruction
+from repro.isa.operands import LabelRef
+
+from repro.binary.program import BasicBlock, Function, Module
+
+
+class SplitError(ValueError):
+    """Raised when a flat program cannot be split into functions."""
+
+
+def _flatten(asm: AsmModule) -> Tuple[List[Instruction], Dict[str, int], List[Tuple[int, str]]]:
+    """Flatten text items to (instructions, label->index, ordered labels)."""
+    instructions: List[Instruction] = []
+    label_index: Dict[str, int] = {}
+    ordered_labels: List[Tuple[int, str]] = []
+    for item in asm.text:
+        if isinstance(item, Label):
+            if item.name in label_index:
+                raise SplitError(f"duplicate label: {item.name}")
+            label_index[item.name] = len(instructions)
+            ordered_labels.append((len(instructions), item.name))
+        elif isinstance(item, Instruction):
+            instructions.append(item)
+        else:
+            raise SplitError(f"data item in text section: {item}")
+    return instructions, label_index, ordered_labels
+
+
+def _address_taken_labels(asm: AsmModule) -> Set[str]:
+    """Labels whose address escapes into a register or into data."""
+    taken: Set[str] = set()
+    for item in asm.text:
+        if isinstance(item, Instruction):
+            if item.mnemonic == "ldr" and isinstance(item.operands[1], LabelRef):
+                taken.add(item.operands[1].name)
+    for item in asm.data:
+        if isinstance(item, DataWord) and isinstance(item.value, LabelRef):
+            taken.add(item.value.name)
+    return taken
+
+
+def module_from_asm(asm: AsmModule, entry: str = "_start") -> Module:
+    """Split a flat assembly module into functions and basic blocks."""
+    instructions, label_index, ordered_labels = _flatten(asm)
+    if entry not in label_index:
+        raise SplitError(f"entry symbol {entry!r} is not defined")
+    taken = _address_taken_labels(asm)
+
+    call_targets: Set[str] = set()
+    branch_targets: Set[str] = set()
+    for insn in instructions:
+        target = insn.label_target
+        if target is None or target not in label_index:
+            continue
+        if insn.is_call:
+            call_targets.add(target)
+        else:
+            branch_targets.add(target)
+
+    # ------------------------------------------------------------------
+    # function entries
+    # ------------------------------------------------------------------
+    entry_names = {entry} | call_targets
+    # A label at the very start of the text is a function even if nothing
+    # calls it (dead code the linker kept, or the entry trampoline).
+    text_labels = {name for __, name in ordered_labels}
+    entry_names |= {name for name in (taken & text_labels)}
+    entry_indices = sorted({label_index[name] for name in entry_names})
+    if not entry_indices or entry_indices[0] != 0:
+        first = min(label_index[n] for n in text_labels) if text_labels else None
+        if first == 0:
+            entry_indices = sorted(set(entry_indices) | {0})
+        else:
+            raise SplitError("text does not begin at a function entry")
+
+    index_to_entry_name: Dict[int, str] = {}
+    for index, name in ordered_labels:
+        if label_index[name] in entry_indices and index == label_index[name]:
+            # Prefer a call-target / entry name when several labels share
+            # the address.
+            if index not in index_to_entry_name or name in entry_names:
+                index_to_entry_name.setdefault(index, name)
+                if name in entry_names:
+                    index_to_entry_name[index] = name
+
+    # ------------------------------------------------------------------
+    # block leaders
+    # ------------------------------------------------------------------
+    leaders: Set[int] = set(entry_indices)
+    for name in branch_targets:
+        leaders.add(label_index[name])
+    for i, insn in enumerate(instructions):
+        ends_block = insn.is_terminator or (
+            insn.is_branch and not insn.is_call
+        )
+        if ends_block and i + 1 < len(instructions):
+            leaders.add(i + 1)
+    leader_list = sorted(leaders)
+
+    labels_at: Dict[int, List[str]] = {}
+    for index, name in ordered_labels:
+        labels_at.setdefault(index, []).append(name)
+
+    # ------------------------------------------------------------------
+    # assemble functions
+    # ------------------------------------------------------------------
+    module = Module(entry=entry)
+    entry_bounds = entry_indices + [len(instructions)]
+    leader_pos = 0
+    for fi in range(len(entry_indices)):
+        start, stop = entry_bounds[fi], entry_bounds[fi + 1]
+        fname = index_to_entry_name[start]
+        func = Function(name=fname, pa_exempt=bool(set(labels_at.get(start, [])) & taken))
+        block_starts = [x for x in leader_list if start <= x < stop]
+        if not block_starts or block_starts[0] != start:
+            block_starts = [start] + block_starts
+        block_bounds = block_starts + [stop]
+        for bi in range(len(block_starts)):
+            b0, b1 = block_bounds[bi], block_bounds[bi + 1]
+            if b0 == b1 and b0 != start:
+                continue
+            block = BasicBlock(
+                labels=[n for n in labels_at.get(b0, []) if n != fname or b0 != start],
+                instructions=list(instructions[b0:b1]),
+            )
+            # Labels inside the function whose address is taken make the
+            # whole function exempt (indirect jumps may land there).
+            if set(labels_at.get(b0, [])) & taken:
+                func.pa_exempt = True
+            func.blocks.append(block)
+        module.functions.append(func)
+    module.data = list(asm.data)
+    return module

@@ -1,0 +1,64 @@
+"""Per-function control-flow graphs.
+
+The CFG is not needed by the basic-block miner itself, but the paper's
+framework builds it (step 5) and we use it for consistency checking, for
+reachability-based statistics, and as the substrate for the future-work
+"whole procedure" search-area extension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.binary.program import Function, Module
+
+
+def build_cfg(func: Function) -> "nx.DiGraph":
+    """Build the control-flow graph of one function.
+
+    Nodes are block indices into ``func.blocks``; edges carry a ``kind``
+    attribute of ``"fallthrough"``, ``"branch"`` or ``"cond"``.
+    Branches that leave the function (tail calls, shared epilogues created
+    by cross-jumping) appear as edges to the string node ``"exit:<label>"``.
+    """
+    graph = nx.DiGraph()
+    label_to_block: Dict[str, int] = {}
+    for i, block in enumerate(func.blocks):
+        graph.add_node(i)
+        for label in block.labels:
+            label_to_block[label] = i
+    label_to_block.setdefault(func.name, 0)
+
+    for i, block in enumerate(func.blocks):
+        for insn in block.instructions:
+            if insn.is_branch and not insn.is_call and insn.label_target:
+                target = insn.label_target
+                kind = "cond" if insn.is_conditional else "branch"
+                if target in label_to_block:
+                    graph.add_edge(i, label_to_block[target], kind=kind)
+                else:
+                    graph.add_edge(i, f"exit:{target}", kind=kind)
+        if block.falls_through and i + 1 < len(func.blocks):
+            graph.add_edge(i, i + 1, kind="fallthrough")
+    return graph
+
+
+def reachable_blocks(func: Function) -> Set[int]:
+    """Indices of blocks reachable from the function entry."""
+    graph = build_cfg(func)
+    if not func.blocks:
+        return set()
+    reached = nx.descendants(graph, 0) | {0}
+    return {node for node in reached if isinstance(node, int)}
+
+
+def block_successors(func: Function) -> Dict[int, List[int]]:
+    """Successor map over block indices (external targets dropped)."""
+    graph = build_cfg(func)
+    return {
+        node: [s for s in graph.successors(node) if isinstance(s, int)]
+        for node in graph.nodes
+        if isinstance(node, int)
+    }

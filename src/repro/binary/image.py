@@ -1,0 +1,88 @@
+"""The statically linked program image.
+
+An :class:`Image` is the common currency between the linker
+(:mod:`repro.binary.layout`), the loader (:mod:`repro.binary.loader`) and
+the simulator (:mod:`repro.sim`): arrays of 32-bit words for the text and
+data sections, an entry point, and an optional symbol table that is used
+for naming only — the loader never *needs* it, which is what makes the
+optimizer a pure post link-time tool.
+
+The data section lives at a fixed base independent of the text size, so
+compacting the text never moves data.  All text-to-anywhere references go
+through literal pools and branch offsets, which the loader symbolizes and
+the layout phase re-resolves; addresses stored *inside* data (e.g. jump
+tables) therefore stay valid across rewriting as long as they point into
+the data section, and the loader flags text addresses found in data so
+the affected functions are exempted from abstraction (paper §2.1 step 5,
+footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Default load address of the text section (conventional ARM value).
+TEXT_BASE = 0x8000
+#: Fixed load address of the data section.
+DATA_BASE = 0x40000
+#: Initial stack pointer (stack grows down).
+STACK_TOP = 0x80000
+
+
+@dataclass
+class Image:
+    """A statically linked, runnable program image."""
+
+    text: List[int] = field(default_factory=list)
+    data: List[int] = field(default_factory=list)
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    entry: int = TEXT_BASE
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for word in self.text:
+            if not 0 <= word <= 0xFFFFFFFF:
+                raise ValueError(f"text word out of range: {word:#x}")
+        for word in self.data:
+            if not 0 <= word <= 0xFFFFFFFF:
+                raise ValueError(f"data word out of range: {word:#x}")
+        if self.text_base + 4 * len(self.text) > self.data_base:
+            raise ValueError("text section overlaps the data base")
+
+    @property
+    def text_end(self) -> int:
+        """One past the last byte of the text section."""
+        return self.text_base + 4 * len(self.text)
+
+    @property
+    def data_end(self) -> int:
+        return self.data_base + 4 * len(self.data)
+
+    @property
+    def text_size_bytes(self) -> int:
+        return 4 * len(self.text)
+
+    def in_text(self, addr: int) -> bool:
+        return self.text_base <= addr < self.text_end
+
+    def in_data(self, addr: int) -> bool:
+        return self.data_base <= addr < self.data_end
+
+    def word_at(self, addr: int) -> int:
+        """Return the 32-bit word at byte address *addr*."""
+        if addr % 4:
+            raise ValueError(f"unaligned word access: {addr:#x}")
+        if self.in_text(addr):
+            return self.text[(addr - self.text_base) // 4]
+        if self.in_data(addr):
+            return self.data[(addr - self.data_base) // 4]
+        raise ValueError(f"address outside image: {addr:#x}")
+
+    def symbol_at(self, addr: int) -> Optional[str]:
+        """Return a symbol name for *addr* if the table has one."""
+        for name, sym_addr in self.symbols.items():
+            if sym_addr == addr:
+                return name
+        return None

@@ -1,0 +1,174 @@
+"""Layout: turn a rewritable :class:`Module` back into a runnable image.
+
+This is the final step of the paper's framework: after abstraction the
+labels carry all control-flow information, so this phase simply
+
+1. assigns a byte address to every instruction, label and literal-pool
+   slot (one pool is placed after each function),
+2. resolves branch targets to pc-relative word offsets and ``ldr =...``
+   pseudo loads to pc-relative pool accesses,
+3. encodes every instruction to its 32-bit word (:mod:`repro.isa.encoder`).
+
+The resulting :class:`~repro.binary.image.Image` is bit-for-bit runnable
+on the simulator and re-loadable by the loader, closing the
+binary -> program -> binary loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.isa.assembler import DataSpace, DataWord, Label
+from repro.isa.encoder import encode
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, LabelRef, Mem
+from repro.isa.registers import PC
+
+from repro.binary.image import DATA_BASE, TEXT_BASE, Image
+from repro.binary.pools import Literal, plan_pool, pseudo_literal
+from repro.binary.program import Module
+
+
+class LayoutError(ValueError):
+    """Raised when a module cannot be laid out into an image."""
+
+
+def layout(module: Module, text_base: int = TEXT_BASE,
+           data_base: int = DATA_BASE) -> Image:
+    """Assign addresses, resolve references and encode *module*."""
+    label_addr: Dict[str, int] = {}
+    pool_addr: Dict[Tuple[int, Literal], int] = {}
+
+    # ------------------------------------------------------------------
+    # pass 1: address assignment
+    # ------------------------------------------------------------------
+    addr = text_base
+    insn_addrs: List[Tuple[Instruction, int, int]] = []  # (insn, addr, func index)
+    for fi, func in enumerate(module.functions):
+        _define(label_addr, func.name, addr)
+        for block in func.blocks:
+            for label in block.labels:
+                if label != func.name:
+                    _define(label_addr, label, addr)
+            for insn in block.instructions:
+                insn_addrs.append((insn, addr, fi))
+                addr += 4
+        pool = plan_pool(func.iter_instructions())
+        if len(pool) and func.blocks and func.blocks[-1].falls_through:
+            raise LayoutError(
+                f"function {func.name!r} falls through into its literal pool"
+            )
+        for literal in pool.literals:
+            pool_addr[(fi, literal)] = addr
+            addr += 4
+    text_words = (addr - text_base) // 4
+
+    addr = data_base
+    data_word_addrs: List[Tuple[object, int]] = []
+    for item in module.data:
+        if isinstance(item, Label):
+            _define(label_addr, item.name, addr)
+        elif isinstance(item, DataWord):
+            data_word_addrs.append((item, addr))
+            addr += 4
+        elif isinstance(item, DataSpace):
+            data_word_addrs.append((item, addr))
+            addr += 4 * item.words
+        else:
+            raise LayoutError(f"bad data item: {item!r}")
+
+    if module.entry not in label_addr:
+        raise LayoutError(f"entry symbol {module.entry!r} is not defined")
+
+    # ------------------------------------------------------------------
+    # pass 2: resolve + encode text
+    # ------------------------------------------------------------------
+    def resolve(name: str) -> int:
+        try:
+            return label_addr[name]
+        except KeyError:
+            raise LayoutError(f"undefined label: {name!r}") from None
+
+    def literal_value(literal: Literal) -> int:
+        """Resolve a pool literal: a label address or a raw constant.
+
+        A purely numeric "label" name denotes the constant itself
+        (``ldr r0, =4096``); real labels can never be all digits.
+        """
+        if isinstance(literal, Imm):
+            return literal.value & 0xFFFFFFFF
+        name = literal.name
+        if name.isdigit() or (name.startswith("-") and name[1:].isdigit()):
+            return int(name) & 0xFFFFFFFF
+        return resolve(name)
+
+    text: List[int] = []
+    for insn, insn_at, fi in insn_addrs:
+        if insn.mnemonic in ("b", "bl"):
+            target = resolve(insn.operands[0].name)
+            offset_words = (target - (insn_at + 8)) // 4
+            text.append(encode(insn, branch_offset_words=offset_words))
+            continue
+        literal = pseudo_literal(insn)
+        if literal is not None:
+            literal_value(literal)  # fail early on dangling references
+            slot_at = pool_addr[(fi, literal)]
+            offset = slot_at - (insn_at + 8)
+            if not -4096 < offset < 4096:
+                raise LayoutError(
+                    f"literal pool out of pc-relative range ({offset} bytes)"
+                )
+            concrete = Instruction(
+                "ldr",
+                (insn.operands[0], Mem(PC, offset)),
+                cond=insn.cond,
+            )
+            text.append(encode(concrete))
+            continue
+        text.append(encode(insn))
+
+    # pool words, function by function, in address order
+    pool_words: List[Tuple[int, int]] = []
+    for (fi, literal), slot_at in pool_addr.items():
+        pool_words.append((slot_at, literal_value(literal)))
+    words_by_addr = dict(pool_words)
+    full_text: List[int] = []
+    it = iter(text)
+    for word_addr in range(text_base, text_base + 4 * text_words, 4):
+        if word_addr in words_by_addr:
+            full_text.append(words_by_addr[word_addr])
+        else:
+            full_text.append(next(it))
+
+    # ------------------------------------------------------------------
+    # data section
+    # ------------------------------------------------------------------
+    data: List[int] = []
+    for item, __ in data_word_addrs:
+        if isinstance(item, DataWord):
+            if isinstance(item.value, LabelRef):
+                data.append(resolve(item.value.name))
+            else:
+                data.append(item.value & 0xFFFFFFFF)
+        else:
+            data.extend([0] * item.words)
+
+    symbols = {func.name: label_addr[func.name] for func in module.functions}
+    for item in module.data:
+        if isinstance(item, Label):
+            symbols[item.name] = label_addr[item.name]
+
+    return Image(
+        text=full_text,
+        data=data,
+        text_base=text_base,
+        data_base=data_base,
+        entry=label_addr[module.entry],
+        symbols=symbols,
+    )
+
+
+def _define(table: Dict[str, int], name: str, addr: int) -> None:
+    if name in table:
+        raise LayoutError(f"label defined twice: {name!r}")
+    table[name] = addr

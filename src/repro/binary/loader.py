@@ -1,0 +1,173 @@
+"""Loader: decompile a statically linked image into a rewritable Module.
+
+This implements paper §2.1 steps 1-5 in order:
+
+1. every text word is speculatively decoded,
+2. pc-relative loads reveal the literal pools; pool words are
+   (re)classified as interwoven data in a fixpoint loop — a word that
+   *looked* like an instruction but is the target of a pc-relative load
+   is data, and once removed it no longer contributes spurious
+   references of its own,
+3. + 4. all branch/call targets and pool contents are symbolized, making
+   the recovered program independent of concrete addresses,
+5. :func:`repro.binary.blocks.module_from_asm` splits the result into
+   functions and basic blocks; address-taken functions become
+   ``pa_exempt``.
+
+The loader consults the image's symbol table only to produce friendly
+names — decompilation never requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.isa.assembler import AsmModule, DataWord, Label
+from repro.isa.decoder import DecodingError, decode
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, LabelRef
+
+from repro.binary.blocks import module_from_asm
+from repro.binary.image import Image
+from repro.binary.pools import pc_relative_target
+from repro.binary.program import Module
+
+
+class LoaderError(ValueError):
+    """Raised when an image cannot be decompiled."""
+
+
+def load_image(image: Image) -> Module:
+    """Decompile *image* into a structured, rewritable :class:`Module`."""
+    n = len(image.text)
+    addr_of = lambda i: image.text_base + 4 * i  # noqa: E731
+
+    decoded: List[Optional[Instruction]] = []
+    for i, word in enumerate(image.text):
+        try:
+            decoded.append(decode(word, addr_of(i)))
+        except DecodingError:
+            decoded.append(None)
+
+    # ------------------------------------------------------------------
+    # fixpoint interwoven-data detection (step 5)
+    # ------------------------------------------------------------------
+    data_indices: Set[int] = set()
+    while True:
+        pool_targets: Set[int] = set()
+        for i, insn in enumerate(decoded):
+            if insn is None or i in data_indices:
+                continue
+            target = pc_relative_target(insn, addr_of(i))
+            if target is not None:
+                if not image.in_text(target):
+                    raise LoaderError(
+                        f"pc-relative load at {addr_of(i):#x} targets "
+                        f"{target:#x} outside the text section"
+                    )
+                pool_targets.add((target - image.text_base) // 4)
+        if pool_targets <= data_indices:
+            break
+        data_indices |= pool_targets
+
+    for i, insn in enumerate(decoded):
+        if insn is None and i not in data_indices:
+            raise LoaderError(
+                f"undecodable word {image.text[i]:#010x} at {addr_of(i):#x} "
+                "is not referenced as data"
+            )
+
+    # ------------------------------------------------------------------
+    # symbolization (steps 3-4)
+    # ------------------------------------------------------------------
+    label_for: Dict[int, str] = {}
+
+    def name_at(addr: int) -> str:
+        if addr not in label_for:
+            sym = image.symbol_at(addr)
+            if sym is None:
+                sym = (
+                    f"loc_{addr:08x}" if image.in_text(addr) else f"glob_{addr:08x}"
+                )
+            label_for[addr] = sym
+        return label_for[addr]
+
+    items: List[object] = []
+    needed_text_labels: Set[int] = set()
+    needed_data_labels: Set[int] = set()
+
+    recovered: List[Optional[Instruction]] = []
+    for i, insn in enumerate(decoded):
+        if i in data_indices:
+            recovered.append(None)
+            continue
+        target = pc_relative_target(insn, addr_of(i))
+        if target is not None:
+            value = image.word_at(target)
+            literal: object
+            if image.in_text(value):
+                literal = LabelRef(name_at(value))
+                needed_text_labels.add(value)
+            elif image.in_data(value):
+                literal = LabelRef(name_at(value))
+                needed_data_labels.add(value)
+            else:
+                # A raw 32-bit constant; a purely numeric "label" denotes
+                # the constant itself (``ldr r0, =4096``).  Real labels
+                # can never be all digits.
+                literal = LabelRef(str(value))
+            insn = Instruction(
+                "ldr", (insn.operands[0], literal), cond=insn.cond
+            )
+        elif insn.mnemonic in ("b", "bl"):
+            target_addr = int(insn.operands[0].name.split("_")[1], 16)
+            if not image.in_text(target_addr):
+                raise LoaderError(
+                    f"branch at {addr_of(i):#x} targets {target_addr:#x} "
+                    "outside the text section"
+                )
+            needed_text_labels.add(target_addr)
+            insn = Instruction(
+                insn.mnemonic,
+                (LabelRef(name_at(target_addr)),),
+                cond=insn.cond,
+            )
+        recovered.append(insn)
+
+    # data words that hold code addresses (function-pointer tables)
+    # also need labels in the text stream
+    for value in image.data:
+        if image.in_text(value):
+            needed_text_labels.add(value)
+
+    # entry must carry a label so block splitting can find it
+    needed_text_labels.add(image.entry)
+    entry_name = name_at(image.entry)
+
+    asm = AsmModule()
+    asm.globals.add(entry_name)
+    for i, insn in enumerate(recovered):
+        addr = addr_of(i)
+        if addr in needed_text_labels:
+            asm.text.append(Label(name_at(addr)))
+            needed_text_labels.discard(addr)
+        if insn is not None:
+            asm.text.append(insn)
+    if needed_text_labels:
+        bad = ", ".join(f"{a:#x}" for a in sorted(needed_text_labels))
+        raise LoaderError(f"references into literal pools or data: {bad}")
+
+    # ------------------------------------------------------------------
+    # data section
+    # ------------------------------------------------------------------
+    for j, value in enumerate(image.data):
+        addr = image.data_base + 4 * j
+        if addr in needed_data_labels or image.symbol_at(addr):
+            asm.data.append(Label(name_at(addr)))
+        if image.in_text(value):
+            # An address of code stored in data: a function-pointer table.
+            asm.data.append(DataWord(LabelRef(name_at(value))))
+        else:
+            asm.data.append(DataWord(value))
+
+    return module_from_asm(asm, entry=entry_name)

@@ -1,0 +1,69 @@
+"""Literal pools: planning (link time) and detection (load time).
+
+On ARM, 32-bit constants — in particular absolute addresses — cannot be
+immediate operands; the compiler interleaves them with the code as
+*literal pools* and reaches them with pc-relative loads (paper §4.1,
+Fig. 10).  The layout phase plans one pool per function; the loader
+recognizes pool words as interwoven data so they are never decoded as
+instructions nor offered to the abstraction engine (paper §2.1 step 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, LabelRef, Mem
+from repro.isa.registers import PC
+
+#: A literal is either an address (symbolic) or a raw 32-bit constant.
+Literal = Union[LabelRef, Imm]
+
+
+@dataclass
+class PoolPlan:
+    """The literal pool of one function: ordered, deduplicated literals."""
+
+    literals: List[Literal] = field(default_factory=list)
+    _index: Dict[Literal, int] = field(default_factory=dict)
+
+    def slot(self, literal: Literal) -> int:
+        """Return the pool slot of *literal*, appending it if new."""
+        if literal not in self._index:
+            self._index[literal] = len(self.literals)
+            self.literals.append(literal)
+        return self._index[literal]
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+
+def plan_pool(instructions: Iterable[Instruction]) -> PoolPlan:
+    """Collect the distinct literals a function's pseudo loads need."""
+    plan = PoolPlan()
+    for insn in instructions:
+        literal = pseudo_literal(insn)
+        if literal is not None:
+            plan.slot(literal)
+    return plan
+
+
+def pseudo_literal(insn: Instruction) -> Literal | None:
+    """The literal operand of a ``ldr rX, =...`` pseudo, else None."""
+    if insn.mnemonic == "ldr" and isinstance(insn.operands[1], LabelRef):
+        return insn.operands[1]
+    return None
+
+
+def pc_relative_target(insn: Instruction, addr: int) -> int | None:
+    """Byte address a pc-relative load at *addr* reads from, else None.
+
+    On ARM the pc reads as the instruction address plus 8.
+    """
+    if insn.mnemonic not in ("ldr", "ldrb"):
+        return None
+    mem = insn.operands[1]
+    if not isinstance(mem, Mem) or mem.base != PC or mem.index is not None:
+        return None
+    return addr + 8 + mem.offset

@@ -1,0 +1,139 @@
+"""The rewritable program representation.
+
+After loading (or after parsing compiler output), a program is a
+:class:`Module`: an ordered list of :class:`Function` objects, each an
+ordered list of :class:`BasicBlock` objects, plus the data section items.
+This is the representation every PA transformation operates on; the
+layout phase turns it back into a runnable :class:`~repro.binary.image.Image`.
+
+Because all control transfers go through labels (paper §2.1 steps 3-4),
+blocks can be freely grown, shrunk, reordered and outlined without any
+address arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.isa.assembler import AsmModule, DataSpace, DataWord, Item, Label
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class BasicBlock:
+    """A single-entry straight-line run of instructions.
+
+    ``labels`` are the names by which branches reach this block (a block
+    may carry several labels when distinct jump targets coincide).  If the
+    final instruction can fall through (or there is no final branch), the
+    block implicitly continues at the next block of its function.
+    """
+
+    labels: List[str] = field(default_factory=list)
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The final instruction if it is an unconditional terminator."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            last = self.instructions[-1]
+            if not last.is_conditional:
+                return last
+        return None
+
+    @property
+    def falls_through(self) -> bool:
+        """True if control may continue at the next block in sequence."""
+        return self.terminator is None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+
+@dataclass
+class Function:
+    """A named sequence of basic blocks; entry is the first block."""
+
+    name: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+    #: Functions reached through indirect jumps / function pointers are
+    #: exempted from PA (paper §2.1 step 5, footnote 1).
+    pa_exempt: bool = False
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def iter_instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+
+@dataclass
+class Module:
+    """A whole rewritable program."""
+
+    functions: List[Function] = field(default_factory=list)
+    data: List[Item] = field(default_factory=list)
+    entry: str = "_start"
+    _fresh: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def num_instructions(self) -> int:
+        """Total instruction count — the paper's code-size metric."""
+        return sum(f.num_instructions for f in self.functions)
+
+    def function(self, name: str) -> Function:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")
+
+    def defined_labels(self) -> Set[str]:
+        """All label names defined anywhere in the module."""
+        names: Set[str] = set()
+        for func in self.functions:
+            names.add(func.name)
+            for block in func.blocks:
+                names.update(block.labels)
+        for item in self.data:
+            if isinstance(item, Label):
+                names.add(item.name)
+        return names
+
+    def fresh_label(self, prefix: str) -> str:
+        """Return a label name that is not yet defined in the module."""
+        defined = self.defined_labels()
+        while True:
+            name = f"{prefix}_{next(self._fresh)}"
+            if name not in defined:
+                return name
+
+    # ------------------------------------------------------------------
+    # conversion back to flat assembly
+    # ------------------------------------------------------------------
+    def to_asm(self) -> AsmModule:
+        """Flatten to an :class:`AsmModule` (labels + instructions)."""
+        asm = AsmModule()
+        asm.globals.add(self.entry)
+        for func in self.functions:
+            asm.text.append(Label(func.name))
+            for block in func.blocks:
+                for label in block.labels:
+                    if label != func.name:
+                        asm.text.append(Label(label))
+                asm.text.extend(block.instructions)
+        asm.data.extend(self.data)
+        return asm
+
+    def render(self) -> str:
+        """Pretty-print the whole module as assembler text."""
+        return self.to_asm().render()

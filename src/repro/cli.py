@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile``   mini-C source -> assembly listing
+``run``       compile (or assemble) and execute on the simulator
+``pa``        run procedural abstraction on a program and report savings
+``table1``    regenerate the paper's Table 1 on the bundled workloads
+``stats``     DFG fan statistics for a program (Tables 2/3 style)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from repro.analysis.tables import Table1Row, format_table1, format_table2
+from repro.binary.blocks import module_from_asm
+from repro.binary.layout import layout
+from repro.binary.program import Module
+from repro.dfg.builder import build_dfgs
+from repro.dfg.graph import FLOW_KINDS
+from repro.dfg.stats import fanout_summary
+from repro.isa.assembler import parse_program
+from repro.minicc.driver import compile_to_asm, compile_to_module
+from repro.pa.driver import PAConfig, run_pa
+from repro.pa.sfx import SFXConfig, run_sfx
+from repro.sim.machine import run_image
+from repro.workloads import PROGRAMS, compile_workload, verify_workload
+
+
+def _load_module(path: str, assembly: bool) -> Module:
+    with open(path) as handle:
+        source = handle.read()
+    if assembly or path.endswith((".s", ".asm")):
+        return module_from_asm(parse_program(source), entry="_start")
+    return compile_to_module(source)
+
+
+def cmd_compile(args) -> int:
+    with open(args.source) as handle:
+        print(compile_to_asm(handle.read(), schedule=not args.no_schedule))
+    return 0
+
+
+def cmd_run(args) -> int:
+    module = _load_module(args.source, args.assembly)
+    result = run_image(layout(module), max_steps=args.max_steps)
+    sys.stdout.write(result.output_text)
+    print(f"[exit {result.exit_code}, {result.steps} instructions]",
+          file=sys.stderr)
+    return result.exit_code
+
+
+def cmd_pa(args) -> int:
+    module = _load_module(args.source, args.assembly)
+    reference = run_image(layout(module), max_steps=args.max_steps)
+    before = module.num_instructions
+    if args.engine == "sfx":
+        result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
+    else:
+        result = run_pa(module, PAConfig(
+            miner=args.engine,
+            max_nodes=args.max_nodes,
+            time_budget=args.time_budget,
+        ))
+    after = run_image(layout(module), max_steps=args.max_steps)
+    status = "OK" if (after.output, after.exit_code) == (
+        reference.output, reference.exit_code) else "BEHAVIOUR CHANGED!"
+    print(f"{args.engine}: {before} -> {module.num_instructions} "
+          f"instructions (saved {result.saved}) in {result.rounds} rounds "
+          f"[{status}]")
+    for record in result.records:
+        print(f"  round {record.round:2d} {record.method:9s} "
+              f"size={record.size:2d} x{record.occurrences} "
+              f"-> {record.new_symbol}")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(module.render())
+        print(f"wrote {args.output}")
+    return 0 if status == "OK" else 1
+
+
+def cmd_table1(args) -> int:
+    rows = []
+    for name in args.programs or sorted(PROGRAMS):
+        base = compile_workload(name).num_instructions
+        saved = {}
+        for engine in ("sfx", "dgspan", "edgar"):
+            module = compile_workload(name)
+            started = time.perf_counter()
+            if engine == "sfx":
+                run_sfx(module)
+            else:
+                run_pa(module, PAConfig(miner=engine,
+                                        time_budget=args.time_budget))
+            verify_workload(name, module)
+            saved[engine] = base - module.num_instructions
+            print(f"  {name}/{engine}: saved {saved[engine]} "
+                  f"({time.perf_counter() - started:.1f}s)",
+                  file=sys.stderr)
+        rows.append(Table1Row(name, base, saved["sfx"], saved["dgspan"],
+                              saved["edgar"]))
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    if args.source in PROGRAMS:
+        module = compile_workload(args.source)
+    else:
+        module = _load_module(args.source, args.assembly)
+    dfgs = build_dfgs(module, min_nodes=1, mined_kinds=FLOW_KINDS)
+    summary = fanout_summary(dfgs)
+    print(format_table2({args.source: summary}))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph-based procedural abstraction (CGO 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile mini-C to assembly")
+    p.add_argument("source")
+    p.add_argument("--no-schedule", action="store_true")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile/assemble and execute")
+    p.add_argument("source")
+    p.add_argument("--assembly", action="store_true",
+                   help="treat the input as assembly, not mini-C")
+    p.add_argument("--max-steps", type=int, default=50_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("pa", help="run procedural abstraction")
+    p.add_argument("source")
+    p.add_argument("--engine", choices=("sfx", "dgspan", "edgar"),
+                   default="edgar")
+    p.add_argument("--assembly", action="store_true")
+    p.add_argument("--max-nodes", type=int, default=8)
+    p.add_argument("--time-budget", type=float, default=600.0)
+    p.add_argument("--max-steps", type=int, default=50_000_000)
+    p.add_argument("-o", "--output", help="write the compacted assembly")
+    p.set_defaults(func=cmd_pa)
+
+    p = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p.add_argument("programs", nargs="*",
+                   help=f"subset of: {', '.join(sorted(PROGRAMS))}")
+    p.add_argument("--time-budget", type=float, default=180.0)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("stats", help="DFG fan statistics (Table 2 style)")
+    p.add_argument("source", help="workload name or source path")
+    p.add_argument("--assembly", action="store_true")
+    p.set_defaults(func=cmd_stats)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

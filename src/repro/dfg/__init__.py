@@ -1,0 +1,23 @@
+"""Data-flow graphs of basic blocks (paper §2.1 step 6).
+
+Every eligible basic block is turned into a directed acyclic dependence
+graph whose nodes are instructions (labelled by their exact text) and
+whose edges are dependencies between them.  The *mined* edge set — true
+data flow: register read-after-write, memory ordering, flag flow — is
+what the subgraph miner matches on; the *full* edge set additionally
+contains register/flag anti- and output-dependencies and is what the
+extraction phase uses to prove that a reordering or outlining is legal.
+"""
+
+from repro.dfg.graph import DFG, Edge
+from repro.dfg.builder import build_dfg, build_dfgs
+from repro.dfg.stats import degree_histogram, fanout_summary
+
+__all__ = [
+    "DFG",
+    "Edge",
+    "build_dfg",
+    "build_dfgs",
+    "degree_histogram",
+    "fanout_summary",
+]

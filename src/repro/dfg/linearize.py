@@ -1,0 +1,76 @@
+"""Linearization helpers: valid instruction orders of a block's DFG.
+
+Any topological order of the full dependence graph — with the block's
+final control transfer pinned last — is an execution-equivalent
+re-sequencing of the block.  Both the mini-C compiler's scheduler (which
+*creates* instruction-order variation) and the PA extractor (which must
+re-linearize blocks after contracting a fragment) build on these
+helpers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.dfg.graph import DFG
+
+
+class LinearizeError(RuntimeError):
+    """Raised when ordering constraints are cyclic."""
+
+
+def block_constraint_edges(dfg: DFG) -> Set[Tuple[int, int]]:
+    """Ordering constraints of a whole block.
+
+    The full dependence edges, plus "everything before the control
+    transfer" when the block ends in one — a branch guards the execution
+    of everything in front of it, so nothing may migrate past it.
+    """
+    edges = {(s, d) for (s, d, __) in dfg.dep_edges}
+    if dfg.insns:
+        last = dfg.insns[-1]
+        if last.is_terminator or (last.is_branch and not last.is_call):
+            final = dfg.num_nodes - 1
+            edges.update((i, final) for i in range(final))
+    return edges
+
+
+def topological_order(
+    n: int,
+    edges: Iterable[Tuple[int, int]],
+    priority: Sequence,
+) -> List[int]:
+    """Kahn's algorithm with a priority heap for deterministic output.
+
+    ``priority[v]`` may be any comparable; ties between ready nodes are
+    broken by taking the smallest priority first.
+    """
+    indeg = [0] * n
+    succ: List[List[int]] = [[] for __ in range(n)]
+    for s, d in edges:
+        succ[s].append(d)
+        indeg[d] += 1
+    heap = [(priority[v], v) for v in range(n) if indeg[v] == 0]
+    heapq.heapify(heap)
+    out: List[int] = []
+    while heap:
+        __, v = heapq.heappop(heap)
+        out.append(v)
+        for w in succ[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                heapq.heappush(heap, (priority[w], w))
+    if len(out) != n:
+        raise LinearizeError("cyclic constraints during linearization")
+    return out
+
+
+def is_valid_order(dfg: DFG, order: Sequence[int]) -> bool:
+    """Check that *order* is a permutation respecting all constraints."""
+    if sorted(order) != list(range(dfg.num_nodes)):
+        return False
+    position = {node: k for k, node in enumerate(order)}
+    return all(
+        position[s] < position[d] for s, d in block_constraint_edges(dfg)
+    )

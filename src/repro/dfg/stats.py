@@ -1,0 +1,85 @@
+"""DFG shape statistics (paper Tables 2 and 3).
+
+The paper explains graph-based PA's advantage through the fan shape of
+the dependence graphs: if every node had in- and out-degree at most one,
+the graphs would be plain chains and the suffix trie would find the same
+duplicates.  These helpers reproduce the two measurements the paper
+reports: the full in/out-degree histogram and the fraction of nodes with
+fan-in or fan-out greater than one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.dfg.graph import DFG, MINED_KINDS
+
+
+@dataclass
+class DegreeHistogram:
+    """Degree counts bucketed as in paper Table 3: 0, 1, 2, 3, >= 4."""
+
+    in_counts: Tuple[int, int, int, int, int]
+    out_counts: Tuple[int, int, int, int, int]
+
+    BUCKETS = ("0", "1", "2", "3", ">=4")
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.in_counts)
+
+
+def degree_histogram(
+    dfgs: Iterable[DFG], kinds: FrozenSet[str] = MINED_KINDS
+) -> DegreeHistogram:
+    """Bucketed in/out-degree histogram over all nodes of all DFGs."""
+    in_buckets = [0] * 5
+    out_buckets = [0] * 5
+    for dfg in dfgs:
+        indeg = [0] * dfg.num_nodes
+        outdeg = [0] * dfg.num_nodes
+        for src, dst, kind in dfg.edges:
+            if kind in kinds:
+                outdeg[src] += 1
+                indeg[dst] += 1
+        for node in range(dfg.num_nodes):
+            in_buckets[min(indeg[node], 4)] += 1
+            out_buckets[min(outdeg[node], 4)] += 1
+    return DegreeHistogram(tuple(in_buckets), tuple(out_buckets))
+
+
+@dataclass
+class FanoutSummary:
+    """Counts for paper Table 2."""
+
+    high_degree: int  #: nodes with in-degree > 1 or out-degree > 1
+    low_degree: int   #: all remaining nodes
+
+    @property
+    def total(self) -> int:
+        return self.high_degree + self.low_degree
+
+    @property
+    def high_fraction(self) -> float:
+        return self.high_degree / self.total if self.total else 0.0
+
+
+def fanout_summary(
+    dfgs: Iterable[DFG], kinds: FrozenSet[str] = MINED_KINDS
+) -> FanoutSummary:
+    """Count instructions with ``(deg_in | deg_out) > 1`` (Table 2)."""
+    high = low = 0
+    for dfg in dfgs:
+        indeg = [0] * dfg.num_nodes
+        outdeg = [0] * dfg.num_nodes
+        for src, dst, kind in dfg.edges:
+            if kind in kinds:
+                outdeg[src] += 1
+                indeg[dst] += 1
+        for node in range(dfg.num_nodes):
+            if indeg[node] > 1 or outdeg[node] > 1:
+                high += 1
+            else:
+                low += 1
+    return FanoutSummary(high, low)

@@ -1,0 +1,72 @@
+"""ARM-subset instruction set architecture.
+
+This package models the 32-bit ARM instruction subset that the paper's
+post link-time optimizer operates on: data-processing instructions with
+condition codes and optional flag setting, single and multiple load/store
+(with pre/post indexing and base writeback), multiply, branches, and the
+``swi`` software interrupt.  It provides:
+
+* an object model for instructions and operands (:mod:`.instructions`,
+  :mod:`.operands`),
+* a two-way text assembler/pretty-printer (:mod:`.assembler`),
+* real 32-bit binary encodings with an encoder and a decoder
+  (:mod:`.encoder`, :mod:`.decoder`), so that the rewriting framework can
+  start from nothing but a statically linked word image, exactly as the
+  paper's framework does.
+"""
+
+from repro.isa.registers import (
+    FP,
+    LR,
+    NUM_REGS,
+    PC,
+    SP,
+    reg_name,
+    reg_num,
+)
+from repro.isa.operands import (
+    Imm,
+    LabelRef,
+    Mem,
+    Reg,
+    RegList,
+    ShiftedReg,
+)
+from repro.isa.instructions import (
+    CONDITIONS,
+    Instruction,
+    InstructionError,
+)
+from repro.isa.assembler import (
+    AssemblerError,
+    parse_instruction,
+    parse_program,
+)
+from repro.isa.encoder import EncodingError, encode
+from repro.isa.decoder import DecodingError, decode
+
+__all__ = [
+    "NUM_REGS",
+    "SP",
+    "LR",
+    "PC",
+    "FP",
+    "reg_name",
+    "reg_num",
+    "Reg",
+    "Imm",
+    "ShiftedReg",
+    "Mem",
+    "RegList",
+    "LabelRef",
+    "Instruction",
+    "InstructionError",
+    "CONDITIONS",
+    "AssemblerError",
+    "parse_instruction",
+    "parse_program",
+    "encode",
+    "decode",
+    "EncodingError",
+    "DecodingError",
+]

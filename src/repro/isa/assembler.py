@@ -1,0 +1,346 @@
+"""Two-way assembler for the ARM subset.
+
+``parse_instruction`` parses exactly the syntax that
+``str(Instruction)`` produces, so the instruction text round-trips.
+``parse_program`` additionally understands labels, comments and the small
+set of data directives (``.word``, ``.space``, ``.global``, ``.text``,
+``.data``) that the mini-C compiler and the test suite use.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Set, Union
+
+from repro.isa.instructions import (
+    ALL_MNEMONICS,
+    CONDITIONS,
+    DATAPROC_COMPARE,
+    Instruction,
+    InstructionError,
+)
+from repro.isa.operands import (
+    SHIFT_OPS,
+    Imm,
+    LabelRef,
+    Mem,
+    Reg,
+    RegList,
+    ShiftedReg,
+)
+from repro.isa.registers import is_reg_name, reg_num
+
+
+class AssemblerError(ValueError):
+    """Raised on unparsable assembly text."""
+
+
+# Mnemonics that accept the trailing ``s`` (set flags) suffix.
+_S_SUFFIX_OK = frozenset(
+    {
+        "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+        "orr", "bic", "mov", "mvn", "mul", "mla",
+    }
+)
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+def _split_mnemonic(word: str) -> tuple:
+    """Split e.g. ``addeqs`` into ``('add', 'eq', True)``.
+
+    Tries the longest base mnemonic first so ``ldrb`` does not parse as
+    ``ldr`` + (invalid) suffix ``b``.
+    """
+    word = word.lower()
+    candidates = sorted(
+        (m for m in ALL_MNEMONICS if word.startswith(m)), key=len, reverse=True
+    )
+    for base in candidates:
+        rest = word[len(base):]
+        set_flags = False
+        if rest.endswith("s") and base in _S_SUFFIX_OK:
+            # ``s`` may follow the condition (``addeqs``); peel it last.
+            maybe_cond = rest[:-1]
+            if maybe_cond == "" or maybe_cond in CONDITIONS:
+                rest_wo_s, set_flags = maybe_cond, True
+            else:
+                rest_wo_s = rest
+        else:
+            rest_wo_s = rest
+        if rest_wo_s == "":
+            return base, "al", set_flags
+        if rest_wo_s in CONDITIONS:
+            return base, rest_wo_s, set_flags
+    raise AssemblerError(f"unknown mnemonic: {word!r}")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand string on top-level commas.
+
+    Commas inside ``[...]`` and ``{...}`` do not separate operands.
+    """
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    last = "".join(current).strip()
+    if last:
+        parts.append(last)
+    # Re-attach shift specifications ("r1, lsl #2") to the preceding
+    # register token: they are one operand in the object model.
+    merged: List[str] = []
+    for part in parts:
+        first_word = part.split(None, 1)[0].lower() if part else ""
+        if merged and first_word in SHIFT_OPS:
+            merged[-1] = merged[-1] + ", " + part
+        else:
+            merged.append(part)
+    return merged
+
+
+def _parse_imm(text: str) -> int:
+    text = text.strip()
+    if text.startswith("#"):
+        text = text[1:]
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad immediate: {text!r}") from None
+
+
+def _parse_reglist(text: str) -> RegList:
+    inner = text.strip()[1:-1]
+    regs: List[int] = []
+    for tok in inner.split(","):
+        tok = tok.strip()
+        if not tok:
+            continue
+        if "-" in tok:
+            lo_s, hi_s = tok.split("-", 1)
+            lo, hi = reg_num(lo_s), reg_num(hi_s)
+            if hi < lo:
+                raise AssemblerError(f"bad register range: {tok!r}")
+            regs.extend(range(lo, hi + 1))
+        else:
+            regs.append(reg_num(tok))
+    return RegList(tuple(regs))
+
+
+def _parse_mem(text: str) -> Mem:
+    text = text.strip()
+    writeback = text.endswith("!")
+    if writeback:
+        text = text[:-1].rstrip()
+    if text.endswith("]"):
+        # Pre-indexed: [base] or [base, off]
+        inner = text[1:-1]
+        parts = [p.strip() for p in inner.split(",")]
+        if len(parts) > 2:
+            raise AssemblerError(
+                f"scaled register offsets are outside the supported subset: "
+                f"{text!r}"
+            )
+        base = reg_num(parts[0])
+        if len(parts) == 1:
+            return Mem(base, 0, pre=True, writeback=writeback)
+        off = parts[1]
+        if is_reg_name(off):
+            return Mem(base, 0, index=reg_num(off), pre=True, writeback=writeback)
+        return Mem(base, _parse_imm(off), pre=True, writeback=writeback)
+    # Post-indexed: [base], off
+    m = re.match(r"^\[\s*([a-z0-9]+)\s*\]\s*,\s*(.+)$", text, re.IGNORECASE)
+    if not m:
+        raise AssemblerError(f"bad memory operand: {text!r}")
+    base = reg_num(m.group(1))
+    off = m.group(2).strip()
+    if is_reg_name(off):
+        return Mem(base, 0, index=reg_num(off), pre=False)
+    return Mem(base, _parse_imm(off), pre=False)
+
+
+def _parse_operand(text: str, branch_target: bool = False) -> object:
+    text = text.strip()
+    if not text:
+        raise AssemblerError("empty operand")
+    if text.startswith("["):
+        return _parse_mem(text)
+    if text.startswith("{"):
+        return _parse_reglist(text)
+    if text.startswith("#"):
+        return Imm(_parse_imm(text))
+    if text.startswith("="):
+        return LabelRef(text[1:].strip())
+    if "," in text:
+        reg_part, shift_part = text.split(",", 1)
+        shift_part = shift_part.strip()
+        m = re.match(r"^(lsl|lsr|asr|ror)\s+#(-?\w+)$", shift_part, re.IGNORECASE)
+        if not m:
+            raise AssemblerError(f"bad shifted register: {text!r}")
+        return ShiftedReg(
+            reg_num(reg_part), m.group(1).lower(), int(m.group(2), 0)
+        )
+    if is_reg_name(text):
+        return Reg(reg_num(text))
+    if branch_target and _LABEL_RE.match(text):
+        return LabelRef(text)
+    raise AssemblerError(f"bad operand: {text!r}")
+
+
+def parse_instruction(text: str) -> Instruction:
+    """Parse one instruction from its assembler text."""
+    text = text.strip()
+    if not text:
+        raise AssemblerError("empty instruction")
+    parts = text.split(None, 1)
+    mnemonic, cond, set_flags = _split_mnemonic(parts[0])
+    if mnemonic in DATAPROC_COMPARE:
+        set_flags = True
+    operand_text = parts[1] if len(parts) > 1 else ""
+    if not operand_text:
+        raise AssemblerError(f"{mnemonic} needs operands")
+    branch_target = mnemonic in ("b", "bl")
+    if mnemonic in ("ldr", "ldrb", "str", "strb"):
+        # The post-indexed form "[base], #off" contains a top-level comma;
+        # split off the destination register and parse the rest as one
+        # address operand.
+        if "," not in operand_text:
+            raise AssemblerError(f"{mnemonic} needs two operands")
+        rd_text, addr_text = operand_text.split(",", 1)
+        operands = (
+            _parse_operand(rd_text),
+            _parse_operand(addr_text),
+        )
+    else:
+        operands = tuple(
+            _parse_operand(tok, branch_target=branch_target)
+            for tok in _split_operands(operand_text)
+        )
+    try:
+        return Instruction(mnemonic, operands, cond=cond,
+                           set_flags=set_flags)
+    except InstructionError as exc:
+        raise AssemblerError(str(exc)) from exc
+
+
+# ----------------------------------------------------------------------
+# program-level items
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Label:
+    """A position marker in a section."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass(frozen=True)
+class DataWord:
+    """A 32-bit literal datum, possibly a label address (jump tables)."""
+
+    value: Union[int, LabelRef]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, LabelRef):
+            return f".word {self.value}"
+        return f".word {self.value}"
+
+
+@dataclass(frozen=True)
+class DataSpace:
+    """*words* zero-initialized 32-bit words of reserved storage."""
+
+    words: int
+
+    def __str__(self) -> str:
+        return f".space {self.words * 4}"
+
+
+Item = Union[Label, Instruction, DataWord, DataSpace]
+
+
+@dataclass
+class AsmModule:
+    """A parsed assembly module: text items, data items, exported names."""
+
+    text: List[Item] = field(default_factory=list)
+    data: List[Item] = field(default_factory=list)
+    globals: Set[str] = field(default_factory=set)
+
+    def render(self) -> str:
+        """Pretty-print the module back to assembler text."""
+        lines: List[str] = [".text"]
+        for name in sorted(self.globals):
+            lines.append(f".global {name}")
+        for item in self.text:
+            if isinstance(item, Label):
+                lines.append(str(item))
+            else:
+                lines.append("    " + str(item))
+        if self.data:
+            lines.append(".data")
+            for item in self.data:
+                if isinstance(item, Label):
+                    lines.append(str(item))
+                else:
+                    lines.append("    " + str(item))
+        return "\n".join(lines) + "\n"
+
+
+def parse_program(source: str) -> AsmModule:
+    """Parse a whole assembly module (labels, directives, instructions)."""
+    module = AsmModule()
+    section = module.text
+    for raw_line in source.splitlines():
+        line = raw_line.split("@", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        while line:
+            m = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*(.*)$", line)
+            if not m:
+                break
+            section.append(Label(m.group(1)))
+            line = m.group(2).strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split(None, 1)
+            directive = parts[0]
+            arg = parts[1].strip() if len(parts) > 1 else ""
+            if directive == ".text":
+                section = module.text
+            elif directive == ".data":
+                section = module.data
+            elif directive == ".global":
+                module.globals.add(arg)
+            elif directive == ".word":
+                for tok in arg.split(","):
+                    tok = tok.strip()
+                    try:
+                        section.append(DataWord(int(tok, 0)))
+                    except ValueError:
+                        section.append(DataWord(LabelRef(tok)))
+            elif directive == ".space":
+                nbytes = int(arg, 0)
+                if nbytes % 4:
+                    raise AssemblerError(".space must be word aligned")
+                section.append(DataSpace(nbytes // 4))
+            elif directive == ".align":
+                pass  # everything is word aligned already
+            else:
+                raise AssemblerError(f"unknown directive: {directive}")
+            continue
+        section.append(parse_instruction(line))
+    return module

@@ -1,0 +1,163 @@
+"""32-bit word -> Instruction decoding.
+
+This is the entry point of the "pure post link-time" story: the rewriting
+framework starts from nothing but a statically linked word image and
+recovers the instruction stream with this decoder (paper §2.1 step 1).
+Branch targets are rendered as synthetic ``loc_<address>`` labels so that
+the recovered program is immediately address-independent (steps 3-4).
+
+Words that do not match any supported encoding raise
+:class:`DecodingError`; the loader treats them as interwoven data
+(step 5).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    CONDITIONS,
+    DATAPROC_COMPARE,
+    DATAPROC_MOVE,
+    DATAPROC_OPCODES,
+    Instruction,
+)
+from repro.isa.operands import SHIFT_OPS, Imm, LabelRef, Mem, Reg, RegList, ShiftedReg
+from repro.isa.registers import SP
+
+
+class DecodingError(ValueError):
+    """Raised when a word does not decode to a supported instruction."""
+
+
+def target_label(addr: int) -> str:
+    """The synthetic label name used for a recovered branch target."""
+    return f"loc_{addr:08x}"
+
+
+def _decode_shifter(word: int) -> object:
+    """Decode the flexible second operand from bits [25] and [11:0]."""
+    if word & (1 << 25):
+        rot = (word >> 8) & 0xF
+        imm8 = word & 0xFF
+        value = ((imm8 >> (2 * rot)) | (imm8 << (32 - 2 * rot))) & 0xFFFFFFFF
+        return Imm(value)
+    if word & (1 << 4):
+        raise DecodingError("register-specified shift amounts are unsupported")
+    amount = (word >> 7) & 0x1F
+    shift_op = SHIFT_OPS[(word >> 5) & 0x3]
+    rm = word & 0xF
+    if amount == 0:
+        if shift_op != "lsl":
+            raise DecodingError(f"zero-amount {shift_op} shift is unsupported")
+        return Reg(rm)
+    return ShiftedReg(rm, shift_op, amount)
+
+
+def decode(word: int, addr: int = 0) -> Instruction:
+    """Decode one 32-bit *word* located at byte address *addr*.
+
+    The address is needed to resolve the targets of pc-relative branches
+    into symbolic labels.
+    """
+    word &= 0xFFFFFFFF
+    cond_bits = word >> 28
+    if cond_bits == 0b1111:
+        raise DecodingError(f"unconditional-space word: {word:#010x}")
+    cond = CONDITIONS[cond_bits]
+    op_major = (word >> 25) & 0b111
+
+    # bx: must be tested before data processing (it overlaps teq's space).
+    if word & 0x0FFFFFF0 == 0x012FFF10:
+        return Instruction("bx", (Reg(word & 0xF),), cond=cond)
+
+    # Multiply: 000000AS .... 1001 ....
+    if (word >> 22) & 0b111111 == 0 and (word >> 4) & 0xF == 0b1001:
+        a_bit = bool(word & (1 << 21))
+        s_bit = bool(word & (1 << 20))
+        rd = (word >> 16) & 0xF
+        rn = (word >> 12) & 0xF
+        rs = (word >> 8) & 0xF
+        rm = word & 0xF
+        if a_bit:
+            ops = (Reg(rd), Reg(rm), Reg(rs), Reg(rn))
+            return Instruction("mla", ops, cond=cond, set_flags=s_bit)
+        if rn != 0:
+            raise DecodingError("mul with nonzero Rn field")
+        return Instruction("mul", (Reg(rd), Reg(rm), Reg(rs)), cond=cond,
+                           set_flags=s_bit)
+
+    if op_major in (0b000, 0b001):
+        opcode = (word >> 21) & 0xF
+        mnemonic = DATAPROC_OPCODES[opcode]
+        s_bit = bool(word & (1 << 20))
+        rn = (word >> 16) & 0xF
+        rd = (word >> 12) & 0xF
+        flex = _decode_shifter(word)
+        if mnemonic in DATAPROC_COMPARE:
+            if not s_bit:
+                raise DecodingError("compare without S bit (MRS/MSR space)")
+            if rd != 0:
+                raise DecodingError("compare with nonzero Rd field")
+            return Instruction(mnemonic, (Reg(rn), flex), cond=cond)
+        if mnemonic in DATAPROC_MOVE:
+            if rn != 0:
+                raise DecodingError(f"{mnemonic} with nonzero Rn field")
+            return Instruction(mnemonic, (Reg(rd), flex), cond=cond,
+                               set_flags=s_bit)
+        return Instruction(mnemonic, (Reg(rd), Reg(rn), flex), cond=cond,
+                           set_flags=s_bit)
+
+    if op_major in (0b010, 0b011):
+        load = bool(word & (1 << 20))
+        byte = bool(word & (1 << 22))
+        pre = bool(word & (1 << 24))
+        up = bool(word & (1 << 23))
+        wb = bool(word & (1 << 21))
+        rn = (word >> 16) & 0xF
+        rd = (word >> 12) & 0xF
+        mnemonic = ("ldr" if load else "str") + ("b" if byte else "")
+        if word & (1 << 25):
+            if word & 0xFF0:
+                raise DecodingError("shifted register offsets are unsupported")
+            if not up:
+                raise DecodingError("subtracted register offsets are unsupported")
+            mem = Mem(rn, 0, index=word & 0xF, pre=pre,
+                      writeback=(wb if pre else True))
+        else:
+            offset = word & 0xFFF
+            if not up:
+                offset = -offset
+            if not pre and wb:
+                raise DecodingError("post-indexed with W bit (LDRT space)")
+            mem = Mem(rn, offset, pre=pre, writeback=(wb if pre else True))
+        return Instruction(mnemonic, (Reg(rd), mem), cond=cond)
+
+    if op_major == 0b100:
+        load = bool(word & (1 << 20))
+        pre = bool(word & (1 << 24))
+        up = bool(word & (1 << 23))
+        wb = bool(word & (1 << 21))
+        rn = (word >> 16) & 0xF
+        if word & (1 << 22):
+            raise DecodingError("ldm/stm with S bit is unsupported")
+        regs = tuple(r for r in range(16) if word & (1 << r))
+        if rn != SP or not wb:
+            raise DecodingError("only sp-based push/pop ldm/stm are supported")
+        if load and not pre and up:
+            return Instruction("pop", (RegList(regs),), cond=cond)
+        if not load and pre and not up:
+            return Instruction("push", (RegList(regs),), cond=cond)
+        raise DecodingError("unsupported ldm/stm addressing mode")
+
+    if op_major == 0b101:
+        link = bool(word & (1 << 24))
+        offset = word & 0xFFFFFF
+        if offset & (1 << 23):
+            offset -= 1 << 24
+        target = addr + 8 + 4 * offset
+        mnemonic = "bl" if link else "b"
+        return Instruction(mnemonic, (LabelRef(target_label(target)),), cond=cond)
+
+    if op_major == 0b111 and (word >> 24) & 0xF == 0b1111:
+        return Instruction("swi", (Imm(word & 0xFFFFFF),), cond=cond)
+
+    raise DecodingError(f"unsupported encoding: {word:#010x}")

@@ -1,0 +1,153 @@
+"""Instruction -> 32-bit word encoding.
+
+The encodings follow the ARM architecture's A32 layout for the supported
+subset (data processing, multiply, single and multiple data transfer,
+branch, software interrupt).  Symbolic operands (branch labels,
+``ldr =label`` pseudo loads) cannot be encoded directly: the layout phase
+(:mod:`repro.binary.layout`) first rewrites them into pc-relative form
+and passes the resolved word offsets in here.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    DATAPROC_COMPARE,
+    DATAPROC_MOVE,
+    DATAPROC_OPCODES,
+    CONDITIONS,
+    Instruction,
+)
+from repro.isa.operands import SHIFT_OPS, Imm, LabelRef, Mem, Reg, RegList, ShiftedReg
+from repro.isa.registers import SP
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction has no binary encoding."""
+
+
+def encode_rotated_imm(value: int) -> int:
+    """Encode *value* as an 8-bit immediate rotated right by an even amount.
+
+    Returns the 12-bit ``rot<<8 | imm8`` field, or raises
+    :class:`EncodingError` when the value is not representable (the caller
+    is then expected to materialize it via a literal pool instead).
+    """
+    value &= 0xFFFFFFFF
+    for rot in range(16):
+        imm8 = ((value << (2 * rot)) | (value >> (32 - 2 * rot))) & 0xFFFFFFFF
+        if imm8 < 256:
+            return (rot << 8) | imm8
+    raise EncodingError(f"immediate {value:#x} not encodable as rotated 8-bit")
+
+
+def encodable_imm(value: int) -> bool:
+    """True if *value* fits the rotated 8-bit immediate format."""
+    try:
+        encode_rotated_imm(value)
+    except EncodingError:
+        return False
+    return True
+
+
+def _encode_shifter(op: object) -> int:
+    """Encode a flexible second operand into bits [25] and [11:0]."""
+    if isinstance(op, Imm):
+        return (1 << 25) | encode_rotated_imm(op.value)
+    if isinstance(op, Reg):
+        return op.num
+    if isinstance(op, ShiftedReg):
+        if op.amount == 0 and op.shift_op != "lsl":
+            raise EncodingError("zero shift amount only valid for lsl")
+        return (op.amount << 7) | (SHIFT_OPS.index(op.shift_op) << 5) | op.num
+    raise EncodingError(f"bad flexible operand: {op!r}")
+
+
+def encode(insn: Instruction, branch_offset_words: int | None = None) -> int:
+    """Encode *insn* into its 32-bit word.
+
+    ``branch_offset_words`` is the signed word distance ``target - (pc+8)``
+    for ``b``/``bl``; it must be supplied by the layout phase.
+    """
+    cond = CONDITIONS.index(insn.cond) << 28
+    m, ops = insn.mnemonic, insn.operands
+
+    if m in DATAPROC_OPCODES:
+        opcode = DATAPROC_OPCODES.index(m) << 21
+        s_bit = (1 << 20) if insn.set_flags else 0
+        if m in DATAPROC_MOVE:
+            rn, rd, flex = 0, ops[0].num, ops[1]
+        elif m in DATAPROC_COMPARE:
+            rn, rd, flex = ops[0].num, 0, ops[1]
+            s_bit = 1 << 20
+        else:
+            rd, rn, flex = ops[0].num, ops[1].num, ops[2]
+        return cond | opcode | s_bit | (rn << 16) | (rd << 12) | _encode_shifter(flex)
+
+    if m in ("mul", "mla"):
+        s_bit = (1 << 20) if insn.set_flags else 0
+        a_bit = (1 << 21) if m == "mla" else 0
+        rd, rm, rs = ops[0].num, ops[1].num, ops[2].num
+        rn = ops[3].num if m == "mla" else 0
+        return (
+            cond | a_bit | s_bit | (rd << 16) | (rn << 12) | (rs << 8) | 0x90 | rm
+        )
+
+    if m in ("ldr", "ldrb", "str", "strb"):
+        mem = ops[1]
+        if isinstance(mem, LabelRef):
+            raise EncodingError(
+                "ldr =label pseudo must be resolved to pc-relative form "
+                "before encoding"
+            )
+        load = m.startswith("ldr")
+        byte = m.endswith("b")
+        word = cond | (1 << 26)
+        word |= (1 << 20) if load else 0
+        word |= (1 << 22) if byte else 0
+        word |= (1 << 24) if mem.pre else 0
+        word |= (1 << 21) if (mem.pre and mem.writeback) else 0
+        word |= (ops[0].num << 12) | (mem.base << 16)
+        if mem.index is not None:
+            word |= (1 << 25) | (1 << 23) | mem.index
+        else:
+            offset = mem.offset
+            if offset >= 0:
+                word |= 1 << 23
+            else:
+                offset = -offset
+            if offset >= 4096:
+                raise EncodingError(f"ldr/str offset too large: {mem.offset}")
+            word |= offset
+        return word
+
+    if m in ("push", "pop"):
+        mask = 0
+        for r in ops[0].regs:
+            mask |= 1 << r
+        word = cond | (0b100 << 25) | (1 << 21) | (SP << 16) | mask
+        if m == "push":
+            word |= 1 << 24  # P: decrement-before
+        else:
+            word |= (1 << 23) | (1 << 20)  # U: increment-after, L: load
+        return word
+
+    if m in ("b", "bl"):
+        if branch_offset_words is None:
+            raise EncodingError(f"{m} needs a resolved branch offset")
+        if not -(1 << 23) <= branch_offset_words < (1 << 23):
+            raise EncodingError(f"branch offset out of range: {branch_offset_words}")
+        word = cond | (0b101 << 25) | (branch_offset_words & 0xFFFFFF)
+        if m == "bl":
+            word |= 1 << 24
+        return word
+
+    if m == "bx":
+        return cond | 0x012FFF10 | ops[0].num
+
+    if m == "swi":
+        imm = ops[0].value
+        if not 0 <= imm < (1 << 24):
+            raise EncodingError(f"swi immediate out of range: {imm}")
+        return cond | (0b1111 << 24) | imm
+
+    raise EncodingError(f"cannot encode: {insn}")

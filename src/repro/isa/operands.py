@@ -1,0 +1,125 @@
+"""Operand object model.
+
+Operands are small immutable value objects.  Their ``__str__`` produces
+the exact assembler syntax, which doubles as the node label used by the
+graph miner (two instructions match only if their text is identical,
+matching the paper's "completely identical instructions" rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.isa.registers import reg_name
+
+SHIFT_OPS = ("lsl", "lsr", "asr", "ror")
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A plain register operand."""
+
+    num: int
+
+    def __str__(self) -> str:
+        return reg_name(self.num)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand, printed as ``#value``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class ShiftedReg:
+    """A register shifted by a constant amount, e.g. ``r1, lsl #2``."""
+
+    num: int
+    shift_op: str
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.shift_op not in SHIFT_OPS:
+            raise ValueError(f"bad shift op: {self.shift_op!r}")
+        if not 0 <= self.amount < 32:
+            raise ValueError(f"bad shift amount: {self.amount}")
+
+    def __str__(self) -> str:
+        return f"{reg_name(self.num)}, {self.shift_op} #{self.amount}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A load/store address operand.
+
+    ``[base, #offset]``            pre-indexed (``pre=True``), no writeback
+    ``[base, #offset]!``           pre-indexed with base writeback
+    ``[base], #offset``            post-indexed (always writes back)
+    ``[base, index]``              register offset (pre-indexed)
+    """
+
+    base: int
+    offset: int = 0
+    index: int | None = None
+    pre: bool = True
+    writeback: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.pre and not self.writeback:
+            # Post-indexed addressing always updates the base register.
+            object.__setattr__(self, "writeback", True)
+
+    @property
+    def offset_str(self) -> str:
+        if self.index is not None:
+            return reg_name(self.index)
+        return f"#{self.offset}"
+
+    def __str__(self) -> str:
+        base = reg_name(self.base)
+        if self.pre:
+            if self.index is None and self.offset == 0 and not self.writeback:
+                return f"[{base}]"
+            bang = "!" if self.writeback else ""
+            return f"[{base}, {self.offset_str}]{bang}"
+        return f"[{base}], {self.offset_str}"
+
+
+@dataclass(frozen=True)
+class RegList:
+    """A register list for ``ldm``/``stm``, printed ``{r4, r5, lr}``."""
+
+    regs: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "regs", tuple(sorted(set(self.regs))))
+        if not self.regs:
+            raise ValueError("empty register list")
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(reg_name(r) for r in self.regs) + "}"
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A symbolic reference to a label.
+
+    Used as the target of branches and as the payload of the ``ldr rX,
+    =label`` pseudo-instruction that the loader synthesizes from
+    pc-relative literal-pool loads (paper §2.1 steps 3-4: once labels are
+    introduced the code is fully independent of concrete addresses).
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = object  # documentation alias; operands are duck-typed value objects

@@ -1,0 +1,55 @@
+"""Register file model for the ARM subset.
+
+The ARM architecture exposes sixteen 32-bit general purpose registers.
+Three of them have a fixed role in the procedure call standard and are
+given the conventional aliases ``sp`` (r13, stack pointer), ``lr`` (r14,
+link register) and ``pc`` (r15, program counter).  ``fp`` (r11) is the
+frame pointer alias used by our mini-C compiler.
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 16
+
+FP = 11
+SP = 13
+LR = 14
+PC = 15
+
+_ALIASES = {"fp": FP, "sp": SP, "lr": LR, "pc": PC}
+_ALIAS_BY_NUM = {FP: "fp", SP: "sp", LR: "lr", PC: "pc"}
+
+
+def reg_name(num: int) -> str:
+    """Return the canonical textual name of register *num*.
+
+    Registers with a calling-convention role are printed with their alias
+    (``sp``/``lr``/``pc``/``fp``); all others as ``rN``.
+    """
+    if not 0 <= num < NUM_REGS:
+        raise ValueError(f"register number out of range: {num}")
+    return _ALIAS_BY_NUM.get(num, f"r{num}")
+
+
+def reg_num(name: str) -> int:
+    """Parse a register name (``r0`` .. ``r15`` or an alias) to its number."""
+    name = name.strip().lower()
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if name.startswith("r"):
+        try:
+            num = int(name[1:])
+        except ValueError:
+            raise ValueError(f"not a register name: {name!r}") from None
+        if 0 <= num < NUM_REGS:
+            return num
+    raise ValueError(f"not a register name: {name!r}")
+
+
+def is_reg_name(name: str) -> bool:
+    """Return True if *name* parses as a register name."""
+    try:
+        reg_num(name)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,45 @@
+"""minicc: a small C-like compiler targeting the ARM subset.
+
+The paper evaluates on MiBench programs compiled with ``gcc -Os`` and
+statically linked against dietlibc.  We substitute this toolchain: a
+deliberately *template-driven* code generator (each AST shape expands to
+a fixed instruction pattern — the paper names compiler templates as a
+main source of duplication), a small statically linked runtime
+(software division, decimal printing, memory helpers — the dietlibc
+stand-in), and a per-block list scheduler that overlaps loads with
+computation, producing exactly the "same computation, different
+instruction order" blocks that defeat suffix-trie PA (§4.2, rijndael).
+
+Pipeline: :mod:`.lexer` -> :mod:`.parser` -> :mod:`.sema` ->
+:mod:`.codegen` (+ :mod:`.scheduler`) -> assembly text ->
+:mod:`repro.binary` for linking into a runnable image.
+"""
+
+from repro.minicc.lexer import LexerError, Token, tokenize
+from repro.minicc.parser import ParseError, parse
+from repro.minicc.sema import SemaError, analyze
+from repro.minicc.codegen import CodegenError, generate
+from repro.minicc.driver import (
+    CompileError,
+    compile_to_asm,
+    compile_to_image,
+    compile_to_module,
+)
+from repro.minicc.runtime import RUNTIME_SOURCE
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "LexerError",
+    "parse",
+    "ParseError",
+    "analyze",
+    "SemaError",
+    "generate",
+    "CodegenError",
+    "compile_to_asm",
+    "compile_to_module",
+    "compile_to_image",
+    "CompileError",
+    "RUNTIME_SOURCE",
+]

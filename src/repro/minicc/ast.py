@@ -1,0 +1,155 @@
+"""Abstract syntax tree of the mini-C language.
+
+Everything is a 32-bit ``int``; arrays are global, one-dimensional and
+of ``int``.  The node set is intentionally small — enough to express the
+MiBench-style workloads — while exercising every code-generation
+template that produces abstraction opportunities (array indexing, calls,
+division, short-circuit logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Num:
+    value: int
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class Str:
+    """A string literal; evaluates to the address of an interned,
+    zero-terminated word array."""
+
+    value: str
+
+
+@dataclass
+class Index:
+    """``array[index]``"""
+
+    name: str
+    index: "Expr"
+
+
+@dataclass
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class UnOp:
+    op: str  # "-", "!", "~"
+    operand: "Expr"
+
+
+@dataclass
+class Call:
+    name: str
+    args: List["Expr"] = field(default_factory=list)
+
+
+Expr = Union[Num, Var, Str, Index, BinOp, UnOp, Call]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass
+class VarDecl:
+    """``int x;`` or ``int x = expr;`` (local scalars only)."""
+
+    name: str
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign:
+    """``target = value;`` where target is a Var or an Index."""
+
+    target: Union[Var, Index]
+    value: Expr
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass
+class Return:
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: List["Stmt"] = field(default_factory=list)
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class For:
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Continue:
+    pass
+
+
+Stmt = Union[VarDecl, Assign, ExprStmt, Return, If, While, For, Break,
+             Continue]
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+@dataclass
+class GlobalVar:
+    """``int g;`` / ``int g = 7;`` / ``int tab[8];`` /
+    ``int tab[4] = {1, 2, 3, 4};``"""
+
+    name: str
+    size: int = 1            #: number of words; 1 for a scalar
+    is_array: bool = False
+    init: Tuple[int, ...] = ()
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,741 @@
+"""Template-driven code generation: AST -> ARM-subset assembly items.
+
+The generator is intentionally *naive* in the way mass-market compilers
+at ``-Os`` are systematic: every AST shape expands into a fixed
+instruction template (global access always materializes the address from
+the literal pool, array indexing always computes ``base + index << 2``,
+comparisons always produce the ``cmp``/``mov``/``mov<cc>`` triple, calls
+always marshal through r0-r3).  Systematic templates are precisely the
+duplication source the paper targets (§1: "space-wasting code
+duplications ... mainly caused by the compiler's code generation
+templates").
+
+Conventions
+-----------
+* args in r0-r3, result in r0, r0-r3/r12 caller-saved scratch,
+* the first seven locals (params first) live in r4-r10, the rest in
+  stack slots; every function saves its used callee-saved registers and
+  ``lr`` with ``push`` and returns with ``pop {..., pc}``,
+* ``>>`` is a *logical* shift (values are 32-bit words), comparisons are
+  signed; division, modulo and variable-amount shifts call runtime
+  helpers (:mod:`repro.minicc.runtime`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.isa.assembler import AsmModule, DataSpace, DataWord, Label
+from repro.isa.encoder import encodable_imm
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, LabelRef, Mem, Reg, RegList, ShiftedReg
+from repro.isa.registers import LR, PC, SP
+
+from repro.minicc import ast
+from repro.minicc.sema import INTRINSICS, FuncInfo, SemaInfo
+
+
+class CodegenError(ValueError):
+    """Raised when a construct cannot be compiled."""
+
+
+#: Caller-saved scratch registers used for expression evaluation.
+SCRATCH = (0, 1, 2, 3, 12)
+#: Callee-saved registers that home the first locals.
+REG_HOMES = (4, 5, 6, 7, 8, 9, 10)
+
+#: Comparison -> condition code (signed), and its negation.
+_CC = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+_NEG = {"eq": "ne", "ne": "eq", "lt": "ge", "le": "gt", "gt": "le", "ge": "lt"}
+
+_DATAPROC = {"+": "add", "-": "sub", "&": "and", "|": "orr", "^": "eor"}
+
+
+# ----------------------------------------------------------------------
+# lowering: hoist calls / divisions / strings out of expressions
+# ----------------------------------------------------------------------
+@dataclass
+class _LIf:
+    cond_pre: List[ast.Stmt]
+    cond: ast.Expr
+    then_body: list
+    else_body: list
+
+
+@dataclass
+class _LWhile:
+    cond_pre: List[ast.Stmt]
+    cond: ast.Expr
+    body: list
+
+
+@dataclass
+class _LFor:
+    init: list
+    cond_pre: List[ast.Stmt]
+    cond: Optional[ast.Expr]
+    step: list
+    body: list
+
+
+class _Lowerer:
+    """Rewrites the AST so that every call is a statement-level
+    ``tmp = f(args)`` with call-free arguments."""
+
+    def __init__(self, info: SemaInfo, func_info: FuncInfo,
+                 strings: Dict[str, str]):
+        self.info = info
+        self.func_info = func_info
+        self.strings = strings
+        self._temp_count = 0
+
+    def _new_temp(self) -> str:
+        name = f"$t{self._temp_count}"
+        self._temp_count += 1
+        self.func_info.locals.append(name)
+        return name
+
+    def lower_body(self, body: Sequence[ast.Stmt]) -> list:
+        out: list = []
+        for stmt in body:
+            out.extend(self.lower_stmt(stmt))
+        return out
+
+    def lower_stmt(self, stmt: ast.Stmt) -> list:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is None:
+                return [stmt]
+            pre, expr = self.lower_expr(stmt.init)
+            return pre + [ast.VarDecl(name=stmt.name, init=expr)]
+        if isinstance(stmt, ast.Assign):
+            pre, value = self.lower_expr(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Index):
+                ipre, index = self.lower_expr(target.index)
+                pre = pre + ipre
+                target = ast.Index(name=target.name, index=index)
+            return pre + [ast.Assign(target=target, value=value)]
+        if isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call):
+                pre, call = self._lower_call(stmt.expr, want_result=False)
+                return pre + ([ast.ExprStmt(expr=call)] if call else [])
+            pre, expr = self.lower_expr(stmt.expr)
+            return pre  # a pure expression statement has no effect
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                return [stmt]
+            pre, expr = self.lower_expr(stmt.value)
+            return pre + [ast.Return(value=expr)]
+        if isinstance(stmt, ast.If):
+            pre, cond = self.lower_expr(stmt.cond)
+            return [
+                _LIf(
+                    cond_pre=pre,
+                    cond=cond,
+                    then_body=self.lower_body(stmt.then_body),
+                    else_body=self.lower_body(stmt.else_body),
+                )
+            ]
+        if isinstance(stmt, ast.While):
+            pre, cond = self.lower_expr(stmt.cond)
+            return [_LWhile(cond_pre=pre, cond=cond,
+                            body=self.lower_body(stmt.body))]
+        if isinstance(stmt, ast.For):
+            init = self.lower_stmt(stmt.init) if stmt.init else []
+            pre, cond = ([], None)
+            if stmt.cond is not None:
+                pre, cond = self.lower_expr(stmt.cond)
+            step = self.lower_stmt(stmt.step) if stmt.step else []
+            return [
+                _LFor(init=init, cond_pre=pre, cond=cond, step=step,
+                      body=self.lower_body(stmt.body))
+            ]
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return [stmt]
+        raise CodegenError(f"cannot lower statement {stmt!r}")
+
+    # ------------------------------------------------------------------
+    def lower_expr(self, expr: ast.Expr) -> Tuple[list, ast.Expr]:
+        if isinstance(expr, ast.Num):
+            return [], expr
+        if isinstance(expr, ast.Var):
+            return [], expr
+        if isinstance(expr, ast.Str):
+            return [], ast.Var(name=self._intern_string(expr.value))
+        if isinstance(expr, ast.Index):
+            pre, index = self.lower_expr(expr.index)
+            return pre, ast.Index(name=expr.name, index=index)
+        if isinstance(expr, ast.UnOp):
+            pre, operand = self.lower_expr(expr.operand)
+            return pre, ast.UnOp(op=expr.op, operand=operand)
+        if isinstance(expr, ast.BinOp):
+            return self._lower_binop(expr)
+        if isinstance(expr, ast.Call):
+            pre, call = self._lower_call(expr, want_result=True)
+            temp = self._new_temp()
+            pre.append(ast.Assign(target=ast.Var(name=temp), value=call))
+            return pre, ast.Var(name=temp)
+        raise CodegenError(f"cannot lower expression {expr!r}")
+
+    def _lower_binop(self, expr: ast.BinOp) -> Tuple[list, ast.Expr]:
+        if expr.op in ("/", "%"):
+            helper = "__div" if expr.op == "/" else "__mod"
+            return self.lower_expr(
+                ast.Call(name=helper, args=[expr.left, expr.right])
+            )
+        if expr.op in ("<<", ">>") and not isinstance(expr.right, ast.Num):
+            helper = "__shl" if expr.op == "<<" else "__shr"
+            return self.lower_expr(
+                ast.Call(name=helper, args=[expr.left, expr.right])
+            )
+        lpre, left = self.lower_expr(expr.left)
+        rpre, right = self.lower_expr(expr.right)
+        if expr.op in ("&&", "||") and (lpre or rpre):
+            raise CodegenError(
+                "calls/divisions inside && or || operands are unsupported; "
+                "restructure with nested if statements"
+            )
+        return lpre + rpre, ast.BinOp(op=expr.op, left=left, right=right)
+
+    def _lower_call(self, call: ast.Call, want_result: bool):
+        pre: list = []
+        args: List[ast.Expr] = []
+        for arg in call.args:
+            apre, lowered = self.lower_expr(arg)
+            pre.extend(apre)
+            args.append(lowered)
+        return pre, ast.Call(name=call.name, args=args)
+
+    def _intern_string(self, text: str) -> str:
+        if text not in self.strings:
+            self.strings[text] = f"str_lit_{len(self.strings)}"
+        return self.strings[text]
+
+
+# ----------------------------------------------------------------------
+# per-function code generation
+# ----------------------------------------------------------------------
+class _FuncCodegen:
+    def __init__(self, info: SemaInfo, func_info: FuncInfo,
+                 strings: Dict[str, str]):
+        self.info = info
+        self.func_info = func_info
+        self.func = func_info.decl
+        self.strings = strings
+        self.items: List[Union[Label, Instruction]] = []
+        self._label_count = 0
+        self._loop_stack: List[Tuple[str, str]] = []  # (continue, break)
+        self._free: List[int] = list(SCRATCH)
+        # homes are assigned after lowering (lowering adds temps)
+        self.reg_home: Dict[str, int] = {}
+        self.slot_home: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def emit(self, mnemonic: str, *operands, cond: str = "al",
+             set_flags: bool = False) -> None:
+        self.items.append(
+            Instruction(mnemonic, tuple(operands), cond=cond,
+                        set_flags=set_flags)
+        )
+
+    def label(self, name: str) -> None:
+        self.items.append(Label(name))
+
+    def new_label(self, hint: str) -> str:
+        self._label_count += 1
+        return f".L_{self.func.name}_{hint}{self._label_count}"
+
+    def alloc(self) -> int:
+        if not self._free:
+            raise CodegenError(
+                f"{self.func.name}: expression too deep (out of scratch "
+                "registers); split it with local variables"
+            )
+        return self._free.pop(0)
+
+    def free(self, reg: int, owned: bool) -> None:
+        if owned:
+            self._free.insert(0, reg)
+            self._free.sort()
+
+    # ------------------------------------------------------------------
+    # frame
+    # ------------------------------------------------------------------
+    def assign_homes(self) -> None:
+        # The same name declared in disjoint sibling scopes shares one
+        # home (scopes cannot overlap, so sharing is safe); deduplicate
+        # first so slot offsets stay within the allocated frame.
+        names: List[str] = []
+        for name in self.func_info.locals:
+            if name not in names:
+                names.append(name)
+        for i, name in enumerate(names):
+            if i < len(REG_HOMES):
+                self.reg_home[name] = REG_HOMES[i]
+            else:
+                self.slot_home[name] = 4 * (i - len(REG_HOMES))
+
+    @property
+    def frame_bytes(self) -> int:
+        return 4 * len(self.slot_home)
+
+    def generate(self) -> List[Union[Label, Instruction]]:
+        lowerer = _Lowerer(self.info, self.func_info, self.strings)
+        body = lowerer.lower_body(self.func.body)
+        self.assign_homes()
+
+        self.label(self.func.name)
+        saved = sorted(set(self.reg_home.values())) + [LR]
+        self.emit("push", RegList(tuple(saved)))
+        if self.frame_bytes:
+            self.emit("sub", Reg(SP), Reg(SP), Imm(self.frame_bytes))
+        for i, param in enumerate(self.func.params):
+            self._store_local(param, i)
+
+        self._return_label = self.new_label("ret")
+        self.gen_body(body)
+        falls_off = not (self.func.body and
+                         isinstance(self.func.body[-1], ast.Return))
+        if falls_off:
+            self.emit("mov", Reg(0), Imm(0))
+        self.label(self._return_label)
+        if self.frame_bytes:
+            self.emit("add", Reg(SP), Reg(SP), Imm(self.frame_bytes))
+        self.emit("pop", RegList(tuple(sorted(set(self.reg_home.values()))
+                                       + [PC])))
+        return self.items
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def gen_body(self, body: Sequence) -> None:
+        for stmt in body:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._gen_assign_var(stmt.name, stmt.init)
+        elif isinstance(stmt, ast.Assign):
+            if isinstance(stmt.target, ast.Var):
+                self._gen_assign_var(stmt.target.name, stmt.value)
+            else:
+                self._gen_assign_index(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call):
+                self._gen_call(stmt.expr)
+            # pure expressions were dropped by lowering
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                reg, owned = self.eval_expr(stmt.value)
+                if reg != 0:
+                    self.emit("mov", Reg(0), Reg(reg))
+                self.free(reg, owned)
+            else:
+                self.emit("mov", Reg(0), Imm(0))
+            self.emit("b", LabelRef(self._return_label))
+        elif isinstance(stmt, _LIf):
+            self._gen_if(stmt)
+        elif isinstance(stmt, _LWhile):
+            self._gen_while(stmt)
+        elif isinstance(stmt, _LFor):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.emit("b", LabelRef(self._loop_stack[-1][1]))
+        elif isinstance(stmt, ast.Continue):
+            self.emit("b", LabelRef(self._loop_stack[-1][0]))
+        else:
+            raise CodegenError(f"cannot generate {stmt!r}")
+
+    def _gen_if(self, stmt: _LIf) -> None:
+        self.gen_body(stmt.cond_pre)
+        end_label = self.new_label("endif")
+        else_label = self.new_label("else") if stmt.else_body else end_label
+        self.branch_if_false(stmt.cond, else_label)
+        self.gen_body(stmt.then_body)
+        if stmt.else_body:
+            self.emit("b", LabelRef(end_label))
+            self.label(else_label)
+            self.gen_body(stmt.else_body)
+        self.label(end_label)
+
+    def _gen_while(self, stmt: _LWhile) -> None:
+        cond_label = self.new_label("while")
+        end_label = self.new_label("endwhile")
+        self.label(cond_label)
+        self.gen_body(stmt.cond_pre)
+        self.branch_if_false(stmt.cond, end_label)
+        self._loop_stack.append((cond_label, end_label))
+        self.gen_body(stmt.body)
+        self._loop_stack.pop()
+        self.emit("b", LabelRef(cond_label))
+        self.label(end_label)
+
+    def _gen_for(self, stmt: _LFor) -> None:
+        self.gen_body(stmt.init)
+        cond_label = self.new_label("for")
+        step_label = self.new_label("forstep")
+        end_label = self.new_label("endfor")
+        self.label(cond_label)
+        if stmt.cond is not None:
+            self.gen_body(stmt.cond_pre)
+            self.branch_if_false(stmt.cond, end_label)
+        self._loop_stack.append((step_label, end_label))
+        self.gen_body(stmt.body)
+        self._loop_stack.pop()
+        self.label(step_label)
+        self.gen_body(stmt.step)
+        self.emit("b", LabelRef(cond_label))
+        self.label(end_label)
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def _gen_assign_var(self, name: str, value: ast.Expr) -> None:
+        if isinstance(value, ast.Call):
+            self._gen_call(value)
+            self._store_local_or_global(name, 0)
+            return
+        reg, owned = self.eval_expr(value)
+        self._store_local_or_global(name, reg)
+        self.free(reg, owned)
+
+    def _store_local_or_global(self, name: str, reg: int) -> None:
+        if name in self.reg_home or name in self.slot_home:
+            self._store_local(name, reg)
+            return
+        # global scalar
+        addr = self.alloc()
+        self.emit("ldr", Reg(addr), LabelRef(name))
+        self.emit("str", Reg(reg), Mem(addr))
+        self.free(addr, True)
+
+    def _store_local(self, name: str, reg: int) -> None:
+        if name in self.reg_home:
+            home = self.reg_home[name]
+            if home != reg:
+                self.emit("mov", Reg(home), Reg(reg))
+        else:
+            self.emit("str", Reg(reg), Mem(SP, self.slot_home[name]))
+
+    def _gen_assign_index(self, target: ast.Index, value: ast.Expr) -> None:
+        if isinstance(value, ast.Call):
+            self._gen_call(value)
+            # Protect r0 from the address computation; alloc may hand
+            # back r0 itself, in which case the value is already safe.
+            temp = self.alloc()
+            if temp != 0:
+                self.emit("mov", Reg(temp), Reg(0))
+            value_reg, value_owned = temp, True
+        else:
+            value_reg, value_owned = self.eval_expr(value)
+        addr, addr_owned = self._array_address(target)
+        self.emit("str", Reg(value_reg), Mem(addr))
+        self.free(addr, addr_owned)
+        self.free(value_reg, value_owned)
+
+    def _array_address(self, target: ast.Index) -> Tuple[int, bool]:
+        addr = self.alloc()
+        self.emit("ldr", Reg(addr), LabelRef(target.name))
+        if isinstance(target.index, ast.Num):
+            offset = 4 * target.index.value
+            if offset:
+                if not encodable_imm(offset):
+                    raise CodegenError("array offset too large")
+                self.emit("add", Reg(addr), Reg(addr), Imm(offset))
+        else:
+            idx, idx_owned = self.eval_expr(target.index)
+            self.emit("add", Reg(addr), Reg(addr),
+                      ShiftedReg(idx, "lsl", 2))
+            self.free(idx, idx_owned)
+        return addr, True
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+    def _gen_call(self, call: ast.Call) -> None:
+        """Emit a call; the result (if any) lands in r0."""
+        pinned: List[int] = []
+        for i, arg in enumerate(call.args):
+            reg, owned = self.eval_expr(arg)
+            if reg != i:
+                if i in self._free:
+                    self._free.remove(i)
+                else:
+                    raise CodegenError(
+                        f"{self.func.name}: argument register r{i} "
+                        "unavailable (expression too entangled)"
+                    )
+                self.emit("mov", Reg(i), Reg(reg))
+                self.free(reg, owned)
+            pinned.append(i)
+        if call.name == "putc":
+            self.emit("swi", Imm(1))
+        elif call.name == "exit":
+            self.emit("swi", Imm(0))
+        elif call.name == "__mem_load":
+            self.emit("ldr", Reg(0), Mem(0))
+        elif call.name == "__mem_store":
+            self.emit("str", Reg(1), Mem(0))
+        else:
+            self.emit("bl", LabelRef(call.name))
+        for reg in pinned:
+            if reg not in self._free:
+                self._free.append(reg)
+        self._free.sort()
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def eval_expr(self, expr: ast.Expr) -> Tuple[int, bool]:
+        """Evaluate into a register; returns (reg, owned)."""
+        if isinstance(expr, ast.Num):
+            return self._load_constant(expr.value)
+        if isinstance(expr, ast.Var):
+            return self._eval_var(expr.name)
+        if isinstance(expr, ast.Index):
+            addr, owned = self._array_address(expr)
+            dest = addr if owned else self.alloc()
+            self.emit("ldr", Reg(dest), Mem(addr))
+            return dest, True
+        if isinstance(expr, ast.UnOp):
+            return self._eval_unop(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr)
+        raise CodegenError(f"cannot evaluate {expr!r}")
+
+    def _load_constant(self, value: int) -> Tuple[int, bool]:
+        dest = self.alloc()
+        masked = value & 0xFFFFFFFF
+        if encodable_imm(masked):
+            self.emit("mov", Reg(dest), Imm(masked))
+        elif encodable_imm(~masked & 0xFFFFFFFF):
+            self.emit("mvn", Reg(dest), Imm(~masked & 0xFFFFFFFF))
+        else:
+            self.emit("ldr", Reg(dest), LabelRef(str(masked)))
+        return dest, True
+
+    def _eval_var(self, name: str) -> Tuple[int, bool]:
+        if name in self.reg_home:
+            return self.reg_home[name], False
+        if name in self.slot_home:
+            dest = self.alloc()
+            self.emit("ldr", Reg(dest), Mem(SP, self.slot_home[name]))
+            return dest, True
+        dest = self.alloc()
+        self.emit("ldr", Reg(dest), LabelRef(name))
+        decl = self.info.globals.get(name)
+        if decl is not None and not decl.is_array:
+            self.emit("ldr", Reg(dest), Mem(dest))
+        # names not in the global table are compiler-interned labels
+        # (string literals): they evaluate to their address, like arrays
+        return dest, True
+
+    def _eval_unop(self, expr: ast.UnOp) -> Tuple[int, bool]:
+        if expr.op == "!":
+            reg, owned = self.eval_expr(expr.operand)
+            dest = reg if owned else self.alloc()
+            self.emit("cmp", Reg(reg), Imm(0))
+            self.emit("mov", Reg(dest), Imm(0))
+            self.emit("mov", Reg(dest), Imm(1), cond="eq")
+            return dest, True
+        reg, owned = self.eval_expr(expr.operand)
+        dest = reg if owned else self.alloc()
+        if expr.op == "-":
+            self.emit("rsb", Reg(dest), Reg(reg), Imm(0))
+        elif expr.op == "~":
+            self.emit("mvn", Reg(dest), Reg(reg))
+        else:
+            raise CodegenError(f"unknown unary {expr.op!r}")
+        return dest, True
+
+    def _flex_operand(self, expr: ast.Expr):
+        """A flexible-operand shortcut for encodable constants."""
+        if isinstance(expr, ast.Num) and encodable_imm(expr.value & 0xFFFFFFFF):
+            if -0x80000000 <= expr.value < 0x100000000:
+                return Imm(expr.value & 0xFFFFFFFF), None
+        return None, None
+
+    def _eval_binop(self, expr: ast.BinOp) -> Tuple[int, bool]:
+        op = expr.op
+        if op in _DATAPROC:
+            left, lowned = self.eval_expr(expr.left)
+            imm, __ = self._flex_operand(expr.right)
+            if imm is not None:
+                dest = left if lowned else self.alloc()
+                self.emit(_DATAPROC[op], Reg(dest), Reg(left), imm)
+                return dest, True
+            right, rowned = self.eval_expr(expr.right)
+            dest = left if lowned else (right if rowned else self.alloc())
+            self.emit(_DATAPROC[op], Reg(dest), Reg(left), Reg(right))
+            if rowned and dest != right:
+                self.free(right, True)
+            if lowned and dest != left:
+                self.free(left, True)
+            return dest, True
+        if op == "*":
+            left, lowned = self.eval_expr(expr.left)
+            right, rowned = self.eval_expr(expr.right)
+            # mul requires Rd != Rm on classic ARM; allocate fresh when
+            # reusing would alias.
+            dest = right if rowned else (left if lowned else self.alloc())
+            if dest == left:
+                self.emit("mul", Reg(dest), Reg(right), Reg(left))
+            else:
+                self.emit("mul", Reg(dest), Reg(left), Reg(right))
+            if lowned and dest != left:
+                self.free(left, True)
+            if rowned and dest != right:
+                self.free(right, True)
+            return dest, True
+        if op in ("<<", ">>"):
+            if not isinstance(expr.right, ast.Num):
+                raise CodegenError("variable shifts must be lowered first")
+            amount = expr.right.value
+            if not 0 <= amount < 32:
+                raise CodegenError(f"shift amount out of range: {amount}")
+            left, lowned = self.eval_expr(expr.left)
+            dest = left if lowned else self.alloc()
+            if amount == 0:
+                if dest != left:
+                    self.emit("mov", Reg(dest), Reg(left))
+            else:
+                shift_op = "lsl" if op == "<<" else "lsr"
+                self.emit("mov", Reg(dest), ShiftedReg(left, shift_op, amount))
+            return dest, True
+        if op in _CC:
+            return self._eval_comparison(expr)
+        if op in ("&&", "||"):
+            return self._eval_bool_value(expr)
+        raise CodegenError(f"unknown operator {op!r}")
+
+    def _eval_comparison(self, expr: ast.BinOp) -> Tuple[int, bool]:
+        left, lowned = self.eval_expr(expr.left)
+        imm, __ = self._flex_operand(expr.right)
+        if imm is not None:
+            self.emit("cmp", Reg(left), imm)
+            right, rowned = None, False
+        else:
+            right, rowned = self.eval_expr(expr.right)
+            self.emit("cmp", Reg(left), Reg(right))
+        dest = left if lowned else (
+            right if rowned else self.alloc()
+        )
+        self.emit("mov", Reg(dest), Imm(0))
+        self.emit("mov", Reg(dest), Imm(1), cond=_CC[expr.op])
+        if rowned and right is not None and dest != right:
+            self.free(right, True)
+        if lowned and dest != left:
+            self.free(left, True)
+        return dest, True
+
+    def _eval_bool_value(self, expr: ast.BinOp) -> Tuple[int, bool]:
+        dest = self.alloc()
+        done = self.new_label("bool")
+        self.emit("mov", Reg(dest), Imm(0))
+        self.branch_if_false(expr, done)
+        self.emit("mov", Reg(dest), Imm(1))
+        self.label(done)
+        return dest, True
+
+    # ------------------------------------------------------------------
+    # conditional branching
+    # ------------------------------------------------------------------
+    def branch_if_false(self, expr: ast.Expr, target: str) -> None:
+        if isinstance(expr, ast.BinOp) and expr.op in _CC:
+            self._compare(expr)
+            self.emit("b", LabelRef(target), cond=_NEG[_CC[expr.op]])
+            return
+        if isinstance(expr, ast.BinOp) and expr.op == "&&":
+            self.branch_if_false(expr.left, target)
+            self.branch_if_false(expr.right, target)
+            return
+        if isinstance(expr, ast.BinOp) and expr.op == "||":
+            true_label = self.new_label("or")
+            self.branch_if_true(expr.left, true_label)
+            self.branch_if_false(expr.right, target)
+            self.label(true_label)
+            return
+        if isinstance(expr, ast.UnOp) and expr.op == "!":
+            self.branch_if_true(expr.operand, target)
+            return
+        if isinstance(expr, ast.Num):
+            if expr.value == 0:
+                self.emit("b", LabelRef(target))
+            return
+        reg, owned = self.eval_expr(expr)
+        self.emit("cmp", Reg(reg), Imm(0))
+        self.free(reg, owned)
+        self.emit("b", LabelRef(target), cond="eq")
+
+    def branch_if_true(self, expr: ast.Expr, target: str) -> None:
+        if isinstance(expr, ast.BinOp) and expr.op in _CC:
+            self._compare(expr)
+            self.emit("b", LabelRef(target), cond=_CC[expr.op])
+            return
+        if isinstance(expr, ast.BinOp) and expr.op == "||":
+            self.branch_if_true(expr.left, target)
+            self.branch_if_true(expr.right, target)
+            return
+        if isinstance(expr, ast.BinOp) and expr.op == "&&":
+            false_label = self.new_label("and")
+            self.branch_if_false(expr.left, false_label)
+            self.branch_if_true(expr.right, target)
+            self.label(false_label)
+            return
+        if isinstance(expr, ast.UnOp) and expr.op == "!":
+            self.branch_if_false(expr.operand, target)
+            return
+        if isinstance(expr, ast.Num):
+            if expr.value != 0:
+                self.emit("b", LabelRef(target))
+            return
+        reg, owned = self.eval_expr(expr)
+        self.emit("cmp", Reg(reg), Imm(0))
+        self.free(reg, owned)
+        self.emit("b", LabelRef(target), cond="ne")
+
+    def _compare(self, expr: ast.BinOp) -> None:
+        left, lowned = self.eval_expr(expr.left)
+        imm, __ = self._flex_operand(expr.right)
+        if imm is not None:
+            self.emit("cmp", Reg(left), imm)
+        else:
+            right, rowned = self.eval_expr(expr.right)
+            self.emit("cmp", Reg(left), Reg(right))
+            self.free(right, rowned)
+        self.free(left, lowned)
+
+
+# ----------------------------------------------------------------------
+# module-level generation
+# ----------------------------------------------------------------------
+def generate(program: ast.Program, info: SemaInfo,
+             add_start: bool = True) -> AsmModule:
+    """Generate an assembly module for an analyzed program."""
+    asm = AsmModule()
+    strings: Dict[str, str] = {}
+    if add_start:
+        asm.globals.add("_start")
+        asm.text.append(Label("_start"))
+        asm.text.append(Instruction("bl", (LabelRef("main"),)))
+        asm.text.append(Instruction("swi", (Imm(0),)))
+    for func in program.functions:
+        generator = _FuncCodegen(info, info.functions[func.name], strings)
+        asm.text.extend(generator.generate())
+    for decl in program.globals:
+        asm.data.append(Label(decl.name))
+        for value in decl.init:
+            asm.data.append(DataWord(value & 0xFFFFFFFF))
+        remaining = decl.size - len(decl.init)
+        if remaining > 0:
+            asm.data.append(DataSpace(remaining))
+    for text, label in sorted(strings.items(), key=lambda kv: kv[1]):
+        asm.data.append(Label(label))
+        for ch in text:
+            asm.data.append(DataWord(ord(ch)))
+        asm.data.append(DataWord(0))
+    return asm

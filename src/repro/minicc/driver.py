@@ -1,0 +1,60 @@
+"""Compile driver: mini-C source -> assembly / module / runnable image.
+
+Mirrors the paper's build setup: programs are compiled for size and
+*statically linked* against the runtime (:mod:`repro.minicc.runtime`),
+producing a self-contained image with no dynamic dependencies — "as most
+embedded systems only run one specific application, there is no need for
+dynamic libraries" (§4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.binary.blocks import module_from_asm
+from repro.binary.image import Image
+from repro.binary.layout import layout
+from repro.binary.program import Module
+
+from repro.minicc.codegen import CodegenError, generate
+from repro.minicc.lexer import LexerError
+from repro.minicc.parser import ParseError, parse
+from repro.minicc.runtime import RUNTIME_SOURCE
+from repro.minicc.scheduler import schedule_module
+from repro.minicc.sema import SemaError, analyze
+
+
+class CompileError(ValueError):
+    """Raised for any front-, middle- or back-end failure."""
+
+
+def _compile(source: str, link_runtime: bool, schedule: bool):
+    text = source + ("\n" + RUNTIME_SOURCE if link_runtime else "")
+    try:
+        program = parse(text)
+        info = analyze(program)
+        asm = generate(program, info)
+    except (LexerError, ParseError, SemaError, CodegenError) as exc:
+        raise CompileError(str(exc)) from exc
+    if schedule:
+        asm = schedule_module(asm)
+    return asm
+
+
+def compile_to_asm(source: str, link_runtime: bool = True,
+                   schedule: bool = True) -> str:
+    """Compile to assembly text (the ``-S`` view)."""
+    return _compile(source, link_runtime, schedule).render()
+
+
+def compile_to_module(source: str, link_runtime: bool = True,
+                      schedule: bool = True) -> Module:
+    """Compile to the rewritable program representation."""
+    asm = _compile(source, link_runtime, schedule)
+    return module_from_asm(asm, entry="_start")
+
+
+def compile_to_image(source: str, link_runtime: bool = True,
+                     schedule: bool = True) -> Image:
+    """Compile and statically link to a runnable image."""
+    return layout(compile_to_module(source, link_runtime, schedule))

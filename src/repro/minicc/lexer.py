@@ -1,0 +1,150 @@
+"""Tokenizer for the mini-C language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+KEYWORDS = frozenset(
+    {"int", "if", "else", "while", "for", "return", "break", "continue"}
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+
+class LexerError(ValueError):
+    """Raised on malformed input text."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``"num"``, ``"ident"``, ``"keyword"``,
+    ``"string"``, ``"op"`` or ``"eof"``; ``value`` holds the decoded
+    payload (int for numbers, str otherwise).
+    """
+
+    kind: str
+    value: object
+    line: int
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.value == op
+
+    def is_keyword(self, kw: str) -> bool:
+        return self.kind == "keyword" and self.value == kw
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*; always ends with an ``eof`` token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexerError("unterminated comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                tokens.append(Token("num", int(source[start:i], 16), line))
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                tokens.append(Token("num", int(source[start:i]), line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            continue
+        if ch == "'":
+            value, i = _char_literal(source, i, line)
+            tokens.append(Token("num", value, line))
+            continue
+        if ch == '"':
+            value, i = _string_literal(source, i, line)
+            tokens.append(Token("string", value, line))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexerError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", None, line))
+    return tokens
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def _char_literal(source: str, i: int, line: int):
+    i += 1
+    if i >= len(source):
+        raise LexerError("unterminated character literal", line)
+    if source[i] == "\\":
+        i += 1
+        if i >= len(source) or source[i] not in _ESCAPES:
+            raise LexerError("bad escape", line)
+        value = _ESCAPES[source[i]]
+        i += 1
+    else:
+        value = ord(source[i])
+        i += 1
+    if i >= len(source) or source[i] != "'":
+        raise LexerError("unterminated character literal", line)
+    return value, i + 1
+
+
+def _string_literal(source: str, i: int, line: int):
+    i += 1
+    chars: List[str] = []
+    while i < len(source) and source[i] != '"':
+        if source[i] == "\\":
+            i += 1
+            if i >= len(source) or source[i] not in _ESCAPES:
+                raise LexerError("bad escape", line)
+            chars.append(chr(_ESCAPES[source[i]]))
+        elif source[i] == "\n":
+            raise LexerError("newline in string literal", line)
+        else:
+            chars.append(source[i])
+        i += 1
+    if i >= len(source):
+        raise LexerError("unterminated string literal", line)
+    return "".join(chars), i + 1

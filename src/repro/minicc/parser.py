@@ -1,0 +1,312 @@
+"""Recursive-descent parser for the mini-C language.
+
+Grammar (precedence climbing for expressions, C-like levels)::
+
+    program   := (global | function)*
+    global    := "int" ident ("[" num "]")? ("=" init)? ";"
+    function  := "int" ident "(" params? ")" block
+    block     := "{" stmt* "}"
+    stmt      := decl | assign | if | while | for | return
+               | break | continue | exprstmt | block
+    expr      := logic-or with usual C precedence
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.minicc import ast
+from repro.minicc.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid input."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message}")
+        self.token = token
+
+
+#: Binary operator precedence, higher binds tighter.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            raise ParseError(f"expected {op!r}, got {self.current.value!r}",
+                             self.current)
+        return self.advance()
+
+    def expect_keyword(self, kw: str) -> Token:
+        if not self.current.is_keyword(kw):
+            raise ParseError(f"expected {kw!r}", self.current)
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.current.kind != "ident":
+            raise ParseError(
+                f"expected identifier, got {self.current.value!r}",
+                self.current,
+            )
+        return self.advance().value
+
+    def expect_num(self) -> int:
+        negative = False
+        if self.current.is_op("-"):
+            self.advance()
+            negative = True
+        if self.current.kind != "num":
+            raise ParseError("expected number", self.current)
+        value = self.advance().value
+        return -value if negative else value
+
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.current.kind != "eof":
+            self.expect_keyword("int")
+            name = self.expect_ident()
+            if self.current.is_op("("):
+                program.functions.append(self._function(name))
+            else:
+                program.globals.append(self._global(name))
+        return program
+
+    def _global(self, name: str) -> ast.GlobalVar:
+        size, is_array = 1, False
+        if self.current.is_op("["):
+            self.advance()
+            size = self.expect_num()
+            if size <= 0:
+                raise ParseError("array size must be positive", self.current)
+            self.expect_op("]")
+            is_array = True
+        init: tuple = ()
+        if self.current.is_op("="):
+            self.advance()
+            if is_array:
+                self.expect_op("{")
+                values: List[int] = []
+                while not self.current.is_op("}"):
+                    values.append(self.expect_num())
+                    if self.current.is_op(","):
+                        self.advance()
+                self.expect_op("}")
+                if len(values) > size:
+                    raise ParseError("too many initializers", self.current)
+                init = tuple(values)
+            else:
+                init = (self.expect_num(),)
+        self.expect_op(";")
+        return ast.GlobalVar(name=name, size=size, is_array=is_array,
+                             init=init)
+
+    def _function(self, name: str) -> ast.FuncDecl:
+        self.expect_op("(")
+        params: List[str] = []
+        if not self.current.is_op(")"):
+            while True:
+                self.expect_keyword("int")
+                params.append(self.expect_ident())
+                if self.current.is_op(","):
+                    self.advance()
+                    continue
+                break
+        self.expect_op(")")
+        body = self._block()
+        return ast.FuncDecl(name=name, params=params, body=body)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _block(self) -> List[ast.Stmt]:
+        self.expect_op("{")
+        stmts: List[ast.Stmt] = []
+        while not self.current.is_op("}"):
+            stmts.append(self._statement())
+        self.expect_op("}")
+        return stmts
+
+    def _statement(self) -> ast.Stmt:
+        token = self.current
+        if token.is_keyword("int"):
+            self.advance()
+            name = self.expect_ident()
+            init = None
+            if self.current.is_op("="):
+                self.advance()
+                init = self._expression()
+            self.expect_op(";")
+            return ast.VarDecl(name=name, init=init)
+        if token.is_keyword("if"):
+            return self._if()
+        if token.is_keyword("while"):
+            self.advance()
+            self.expect_op("(")
+            cond = self._expression()
+            self.expect_op(")")
+            return ast.While(cond=cond, body=self._body_or_stmt())
+        if token.is_keyword("for"):
+            return self._for()
+        if token.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.current.is_op(";"):
+                value = self._expression()
+            self.expect_op(";")
+            return ast.Return(value=value)
+        if token.is_keyword("break"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Break()
+        if token.is_keyword("continue"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Continue()
+        return self._simple_statement(expect_semicolon=True)
+
+    def _body_or_stmt(self) -> List[ast.Stmt]:
+        if self.current.is_op("{"):
+            return self._block()
+        return [self._statement()]
+
+    def _if(self) -> ast.If:
+        self.expect_keyword("if")
+        self.expect_op("(")
+        cond = self._expression()
+        self.expect_op(")")
+        then_body = self._body_or_stmt()
+        else_body: List[ast.Stmt] = []
+        if self.current.is_keyword("else"):
+            self.advance()
+            if self.current.is_keyword("if"):
+                else_body = [self._if()]
+            else:
+                else_body = self._body_or_stmt()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body)
+
+    def _for(self) -> ast.For:
+        self.expect_keyword("for")
+        self.expect_op("(")
+        init = None
+        if not self.current.is_op(";"):
+            init = self._simple_statement(expect_semicolon=False)
+        self.expect_op(";")
+        cond = None
+        if not self.current.is_op(";"):
+            cond = self._expression()
+        self.expect_op(";")
+        step = None
+        if not self.current.is_op(")"):
+            step = self._simple_statement(expect_semicolon=False)
+        self.expect_op(")")
+        return ast.For(init=init, cond=cond, step=step,
+                       body=self._body_or_stmt())
+
+    def _simple_statement(self, expect_semicolon: bool) -> ast.Stmt:
+        """An assignment or a bare expression (no control flow)."""
+        expr = self._expression()
+        if self.current.is_op("="):
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise ParseError("bad assignment target", self.current)
+            self.advance()
+            value = self._expression()
+            stmt: ast.Stmt = ast.Assign(target=expr, value=value)
+        else:
+            stmt = ast.ExprStmt(expr=expr)
+        if expect_semicolon:
+            self.expect_op(";")
+        return stmt
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _expression(self, min_precedence: int = 1) -> ast.Expr:
+        left = self._unary()
+        while (
+            self.current.kind == "op"
+            and self.current.value in _PRECEDENCE
+            and _PRECEDENCE[self.current.value] >= min_precedence
+        ):
+            op = self.advance().value
+            right = self._expression(_PRECEDENCE[op] + 1)
+            left = ast.BinOp(op=op, left=left, right=right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        if self.current.is_op("-"):
+            self.advance()
+            return ast.UnOp(op="-", operand=self._unary())
+        if self.current.is_op("!"):
+            self.advance()
+            return ast.UnOp(op="!", operand=self._unary())
+        if self.current.is_op("~"):
+            self.advance()
+            return ast.UnOp(op="~", operand=self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "num":
+            self.advance()
+            return ast.Num(value=token.value)
+        if token.kind == "string":
+            self.advance()
+            return ast.Str(value=token.value)
+        if token.is_op("("):
+            self.advance()
+            expr = self._expression()
+            self.expect_op(")")
+            return expr
+        if token.kind == "ident":
+            name = self.advance().value
+            if self.current.is_op("("):
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.current.is_op(")"):
+                    while True:
+                        args.append(self._expression())
+                        if self.current.is_op(","):
+                            self.advance()
+                            continue
+                        break
+                self.expect_op(")")
+                return ast.Call(name=name, args=args)
+            if self.current.is_op("["):
+                self.advance()
+                index = self._expression()
+                self.expect_op("]")
+                return ast.Index(name=name, index=index)
+            return ast.Var(name=name)
+        raise ParseError(f"unexpected token {token.value!r}", token)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse mini-C *source* into its AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,158 @@
+"""libmini: the statically linked runtime (the dietlibc stand-in).
+
+Written in mini-C itself and compiled together with every program, like
+dietlibc's statically linked object files: only the functions a program
+actually calls... are all linked in here (the whole runtime is small
+enough that we keep linking simple and include it wholesale; its
+functions share code patterns with user code, which is precisely the
+redundancy source the paper attributes to statically linked libraries).
+
+Contents: software division/modulo (ARM has no divide instruction),
+variable-amount shifts (the ISA subset has no register-specified shift),
+decimal/hex printing, word-array helpers, and small math utilities.
+"""
+
+RUNTIME_SOURCE = r"""
+// ---------------------------------------------------------------- division
+int __div(int a, int b) {
+    int neg = 0;
+    if (a < 0) { a = -a; neg = 1 - neg; }
+    if (b < 0) { b = -b; neg = 1 - neg; }
+    if (b == 0) { return 0; }
+    int q = 0;
+    int cur = b;
+    int mult = 1;
+    while (cur + cur <= a && cur + cur > 0) {
+        cur = cur + cur;
+        mult = mult + mult;
+    }
+    while (mult > 0) {
+        if (a >= cur) {
+            a = a - cur;
+            q = q + mult;
+        }
+        cur = cur >> 1;
+        mult = mult >> 1;
+    }
+    if (neg) { return -q; }
+    return q;
+}
+
+int __mod(int a, int b) {
+    int neg = 0;
+    if (a < 0) { a = -a; neg = 1; }
+    if (b < 0) { b = -b; }
+    if (b == 0) { return 0; }
+    int cur = b;
+    while (cur + cur <= a && cur + cur > 0) {
+        cur = cur + cur;
+    }
+    while (cur >= b) {
+        if (a >= cur) {
+            a = a - cur;
+        }
+        cur = cur >> 1;
+    }
+    if (neg) { return -a; }
+    return a;
+}
+
+// ------------------------------------------------------- variable shifts
+int __shl(int x, int n) {
+    while (n > 0) {
+        x = x + x;
+        n = n - 1;
+    }
+    return x;
+}
+
+int __shr(int x, int n) {
+    while (n > 0) {
+        x = x >> 1;
+        n = n - 1;
+    }
+    return x;
+}
+
+// ------------------------------------------------------------- printing
+int print_int(int n) {
+    if (n < 0) {
+        putc('-');
+        n = -n;
+    }
+    if (n >= 10) {
+        print_int(__div(n, 10));
+    }
+    putc('0' + __mod(n, 10));
+    return 0;
+}
+
+int print_hex(int n) {
+    int shift = 28;
+    while (shift >= 0) {
+        int digit = __shr(n, shift) & 15;
+        if (digit < 10) {
+            putc('0' + digit);
+        } else {
+            putc('a' + digit - 10);
+        }
+        shift = shift - 4;
+    }
+    return 0;
+}
+
+int print_nl(int unused) {
+    putc(10);
+    return 0;
+}
+
+// ----------------------------------------------------- word-array helpers
+int puts_w(int s) {
+    int i = 0;
+    int c = mem_r(s);
+    while (c != 0) {
+        putc(c);
+        i = i + 1;
+        c = mem_r(s + 4 * i);
+    }
+    return i;
+}
+
+int mem_r(int addr) {
+    return __mem_load(addr);
+}
+
+int memcpy_w(int dst, int src, int n) {
+    int i = 0;
+    while (i < n) {
+        __mem_store(dst + 4 * i, __mem_load(src + 4 * i));
+        i = i + 1;
+    }
+    return dst;
+}
+
+int memset_w(int dst, int value, int n) {
+    int i = 0;
+    while (i < n) {
+        __mem_store(dst + 4 * i, value);
+        i = i + 1;
+    }
+    return dst;
+}
+
+// ------------------------------------------------------------- small math
+int __abs(int x) {
+    if (x < 0) { return -x; }
+    return x;
+}
+
+int __min(int a, int b) {
+    if (a < b) { return a; }
+    return b;
+}
+
+int __max(int a, int b) {
+    if (a > b) { return a; }
+    return b;
+}
+"""

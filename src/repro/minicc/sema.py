@@ -1,0 +1,184 @@
+"""Semantic analysis for mini-C.
+
+Checks name resolution, arity, array/scalar usage, and collects the
+per-function local-variable lists the code generator needs.  The
+builtins ``putc(x)`` and ``exit(x)`` are intrinsics lowered to ``swi``;
+everything else must resolve to a defined function (the runtime sources
+are linked in by the driver before analysis, so ``print_int``/``__div``
+and friends resolve like ordinary code — the dietlibc model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.minicc import ast
+
+#: Intrinsics: name -> arity.  ``putc``/``exit`` lower to ``swi``;
+#: ``__mem_load``/``__mem_store`` are the raw word-memory accessors the
+#: runtime builds its pointer helpers from.
+INTRINSICS = {"putc": 1, "exit": 1, "__mem_load": 1, "__mem_store": 2}
+
+
+class SemaError(ValueError):
+    """Raised when the program is semantically invalid."""
+
+
+@dataclass
+class FuncInfo:
+    decl: ast.FuncDecl
+    locals: List[str] = field(default_factory=list)  #: params first
+
+
+@dataclass
+class SemaInfo:
+    """Analysis results consumed by the code generator."""
+
+    globals: Dict[str, ast.GlobalVar] = field(default_factory=dict)
+    functions: Dict[str, FuncInfo] = field(default_factory=dict)
+    uses_division: bool = False
+
+
+def analyze(program: ast.Program) -> SemaInfo:
+    """Validate *program*; returns the symbol information."""
+    info = SemaInfo()
+    for decl in program.globals:
+        if decl.name in info.globals:
+            raise SemaError(f"global {decl.name!r} defined twice")
+        info.globals[decl.name] = decl
+    for func in program.functions:
+        if func.name in info.functions or func.name in INTRINSICS:
+            raise SemaError(f"function {func.name!r} defined twice")
+        if func.name in info.globals:
+            raise SemaError(f"{func.name!r} is both global and function")
+        if len(func.params) > 4:
+            raise SemaError(
+                f"function {func.name!r}: more than 4 parameters "
+                "(args pass in r0-r3)"
+            )
+        info.functions[func.name] = FuncInfo(decl=func)
+    if "main" not in info.functions:
+        raise SemaError("no main function")
+    for func_info in info.functions.values():
+        _check_function(info, func_info)
+    return info
+
+
+def _check_function(info: SemaInfo, func_info: FuncInfo) -> None:
+    func = func_info.decl
+    scope: Set[str] = set()
+    func_info.locals = list(func.params)
+    for param in func.params:
+        if param in scope:
+            raise SemaError(f"{func.name}: duplicate parameter {param!r}")
+        scope.add(param)
+    _check_body(info, func_info, func.body, scope, in_loop=False)
+
+
+def _check_body(info, func_info, body, scope: Set[str], in_loop: bool) -> None:
+    for stmt in body:
+        _check_stmt(info, func_info, stmt, scope, in_loop)
+
+
+def _check_stmt(info, func_info, stmt, scope: Set[str], in_loop: bool) -> None:
+    func_name = func_info.decl.name
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.name in scope:
+            raise SemaError(f"{func_name}: {stmt.name!r} redeclared")
+        if stmt.init is not None:
+            _check_expr(info, func_info, stmt.init, scope)
+        scope.add(stmt.name)
+        func_info.locals.append(stmt.name)
+    elif isinstance(stmt, ast.Assign):
+        _check_expr(info, func_info, stmt.value, scope)
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            if target.name in scope:
+                pass  # a local shadows any same-named global
+            elif target.name in info.globals:
+                if info.globals[target.name].is_array:
+                    raise SemaError(
+                        f"{func_name}: cannot assign to array {target.name!r}"
+                    )
+            else:
+                raise SemaError(f"{func_name}: undefined {target.name!r}")
+        else:
+            _check_index(info, func_info, target, scope)
+    elif isinstance(stmt, ast.ExprStmt):
+        _check_expr(info, func_info, stmt.expr, scope)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            _check_expr(info, func_info, stmt.value, scope)
+    elif isinstance(stmt, ast.If):
+        _check_expr(info, func_info, stmt.cond, scope)
+        _check_body(info, func_info, stmt.then_body, set(scope), in_loop)
+        _check_body(info, func_info, stmt.else_body, set(scope), in_loop)
+    elif isinstance(stmt, ast.While):
+        _check_expr(info, func_info, stmt.cond, scope)
+        _check_body(info, func_info, stmt.body, set(scope), True)
+    elif isinstance(stmt, ast.For):
+        inner = set(scope)
+        if stmt.init is not None:
+            _check_stmt(info, func_info, stmt.init, inner, in_loop)
+        if stmt.cond is not None:
+            _check_expr(info, func_info, stmt.cond, inner)
+        if stmt.step is not None:
+            _check_stmt(info, func_info, stmt.step, inner, in_loop)
+        _check_body(info, func_info, stmt.body, set(inner), True)
+    elif isinstance(stmt, (ast.Break, ast.Continue)):
+        if not in_loop:
+            raise SemaError(f"{func_name}: break/continue outside a loop")
+    else:
+        raise SemaError(f"{func_name}: unknown statement {stmt!r}")
+
+
+def _check_index(info, func_info, expr: ast.Index, scope: Set[str]) -> None:
+    func_name = func_info.decl.name
+    if expr.name not in info.globals:
+        raise SemaError(f"{func_name}: undefined array {expr.name!r}")
+    if not info.globals[expr.name].is_array:
+        raise SemaError(f"{func_name}: {expr.name!r} is not an array")
+    _check_expr(info, func_info, expr.index, scope)
+
+
+def _check_expr(info, func_info, expr, scope: Set[str]) -> None:
+    func_name = func_info.decl.name
+    if isinstance(expr, (ast.Num, ast.Str)):
+        return
+    if isinstance(expr, ast.Var):
+        if expr.name in scope:
+            return
+        if expr.name in info.globals:
+            # A bare array name evaluates to its address (for helpers
+            # like memcpy-style runtime routines).
+            return
+        raise SemaError(f"{func_name}: undefined {expr.name!r}")
+    if isinstance(expr, ast.Index):
+        _check_index(info, func_info, expr, scope)
+        return
+    if isinstance(expr, ast.BinOp):
+        if expr.op in ("/", "%"):
+            info.uses_division = True
+        _check_expr(info, func_info, expr.left, scope)
+        _check_expr(info, func_info, expr.right, scope)
+        return
+    if isinstance(expr, ast.UnOp):
+        _check_expr(info, func_info, expr.operand, scope)
+        return
+    if isinstance(expr, ast.Call):
+        if expr.name in INTRINSICS:
+            arity = INTRINSICS[expr.name]
+        elif expr.name in info.functions:
+            arity = len(info.functions[expr.name].decl.params)
+        else:
+            raise SemaError(f"{func_name}: undefined function {expr.name!r}")
+        if len(expr.args) != arity:
+            raise SemaError(
+                f"{func_name}: {expr.name} expects {arity} args, "
+                f"got {len(expr.args)}"
+            )
+        for arg in expr.args:
+            _check_expr(info, func_info, arg, scope)
+        return
+    raise SemaError(f"{func_name}: unknown expression {expr!r}")

@@ -1,0 +1,33 @@
+"""Frequent subgraph mining (paper §3).
+
+* :mod:`.dfs_code` — gSpan's canonical form (DFS codes) extended with an
+  edge-direction flag, exactly as the paper's §3.3 describes for DgSpan.
+* :mod:`.gspan` — DgSpan: directed gSpan counting *graphs* a fragment
+  occurs in.
+* :mod:`.edgar` — Edgar: the embedding-based extension; counts
+  non-overlapping *embeddings* via a maximum independent set over the
+  collision graph (:mod:`.collision`, :mod:`.mis`) and applies
+  PA-specific pruning (:mod:`.pruning`).
+"""
+
+from repro.mining.dfs_code import DFSCode, EdgeTuple, is_min, min_dfs_code
+from repro.mining.embeddings import Embedding
+from repro.mining.gspan import DgSpan, Fragment, MiningDB
+from repro.mining.edgar import Edgar
+from repro.mining.collision import build_collision_graph
+from repro.mining.mis import greedy_mis, max_independent_set
+
+__all__ = [
+    "DFSCode",
+    "EdgeTuple",
+    "is_min",
+    "min_dfs_code",
+    "Embedding",
+    "Fragment",
+    "MiningDB",
+    "DgSpan",
+    "Edgar",
+    "build_collision_graph",
+    "max_independent_set",
+    "greedy_mis",
+]

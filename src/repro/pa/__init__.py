@@ -1,0 +1,34 @@
+"""Procedural abstraction (paper §2.1 steps 7-8 and §2.2).
+
+* :mod:`.legality` — which embeddings may be outlined, and how
+  (call/return vs cross-jump), including the Fig. 9 convexity rule.
+* :mod:`.fragments` — the cost/benefit model over fragment size and
+  non-overlapping frequency.
+* :mod:`.extract` — the two extraction mechanisms.
+* :mod:`.sfx` — the suffix-trie baseline (Fraser/Myers/Wendt '84,
+  Table 1's "SFX" column).
+* :mod:`.driver` — the iterative loop: mine, pick the best candidate,
+  extract, repeat until the program stops shrinking.
+"""
+
+from repro.pa.fragments import Candidate, call_benefit, crossjump_benefit
+from repro.pa.legality import ExtractionMethod, classify_fragment, legal_embeddings
+from repro.pa.extract import extract_call, extract_crossjump
+from repro.pa.driver import PAConfig, PAResult, ExtractionRecord, run_pa
+from repro.pa.sfx import run_sfx
+
+__all__ = [
+    "Candidate",
+    "call_benefit",
+    "crossjump_benefit",
+    "ExtractionMethod",
+    "classify_fragment",
+    "legal_embeddings",
+    "extract_call",
+    "extract_crossjump",
+    "PAConfig",
+    "PAResult",
+    "ExtractionRecord",
+    "run_pa",
+    "run_sfx",
+]

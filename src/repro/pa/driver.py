@@ -1,0 +1,368 @@
+"""The iterative procedural-abstraction loop (paper §2.1 step 8).
+
+Each round rebuilds the DFG database, mines it, scores every frequent
+fragment (legality -> maximum independent set of non-overlapping
+occurrences -> order-consistency), extracts the single candidate with
+the highest code-size benefit, and restarts — "after extraction, phase
+(6) is repeated as long as code fragments are found that reduce the
+overall number of instructions in the program".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.binary.program import Module
+from repro.dfg.builder import build_dfgs
+from repro.dfg.graph import FLOW_KINDS, MINED_KINDS
+from repro.mining.edgar import Edgar, non_overlapping_embeddings
+from repro.mining.gspan import DgSpan
+
+from repro.pa.extract import (
+    call_site_feasible,
+    extract_call,
+    extract_crossjump,
+    order_consistent_subset,
+)
+from repro.pa.fragments import Candidate, best_possible_benefit, score
+from repro.pa.legality import (
+    ExtractionMethod,
+    legal_embeddings,
+)
+from repro.pa.liveness import lr_live_out_blocks
+
+
+@dataclass
+class PAConfig:
+    """Tuning knobs of the abstraction engine."""
+
+    miner: str = "edgar"              #: "edgar" or "dgspan"
+    min_support: int = 2
+    min_nodes: int = 2
+    max_nodes: int = 8
+    max_rounds: int = 10_000
+    mis_exact_limit: int = 60         #: 0 = greedy MIS (ablation)
+    pa_pruning: bool = True           #: Edgar's PA-specific pruning
+    #: Edge kinds of the primary mining pass.  The default is the full
+    #: dependence graph (the graph the Fig. 9 legality check needs).
+    mined_kinds: FrozenSet[str] = MINED_KINDS
+    #: Run a second pass on the pure data-flow projection (d/m/f edges
+    #: only).  Anti/output dependence edges are order-*sensitive* — two
+    #: occurrences of the same computation scheduled differently carry
+    #: them in opposite directions — so only the projection can match
+    #: reordered duplicates, which is the paper's headline effect.
+    flow_pass: bool = True
+    #: Apply every non-conflicting candidate found in a round (ordered by
+    #: benefit) instead of only the single best.  Results match the
+    #: paper's one-per-round greedy almost exactly (conflicting
+    #: candidates wait for the next round) at a fraction of the mining
+    #: cost; set False for the strict paper loop.
+    batch: bool = True
+    max_embeddings: int = 4_000
+    #: Wall-clock budget for the whole run (seconds); None = unbounded.
+    #: When the budget runs out mid-mine the search unwinds cleanly and
+    #: the candidates found so far are still applied — the optimizer
+    #: degrades gracefully instead of running for the paper's "night or
+    #: weekend" (§1) on pathological inputs like rijndael (§4.2).
+    time_budget: Optional[float] = 600.0
+
+
+@dataclass
+class ExtractionRecord:
+    """One extraction step, for reporting (Fig. 12, EXPERIMENTS.md)."""
+
+    round: int
+    method: str                       #: "call" or "crossjump"
+    size: int
+    occurrences: int
+    benefit: int
+    new_symbol: str
+    instructions: Tuple[str, ...]
+
+
+@dataclass
+class PAResult:
+    """Outcome of one full abstraction run."""
+
+    module: Module
+    instructions_before: int
+    instructions_after: int
+    records: List[ExtractionRecord] = field(default_factory=list)
+    rounds: int = 0
+    lattice_nodes: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def saved(self) -> int:
+        """Saved instructions — the paper's headline metric (Table 1)."""
+        return self.instructions_before - self.instructions_after
+
+    @property
+    def call_extractions(self) -> int:
+        return sum(1 for r in self.records if r.method == "call")
+
+    @property
+    def crossjump_extractions(self) -> int:
+        return sum(1 for r in self.records if r.method == "crossjump")
+
+
+def _make_miner(config: PAConfig):
+    if config.miner == "edgar":
+        return Edgar(
+            min_support=config.min_support,
+            min_nodes=config.min_nodes,
+            max_nodes=config.max_nodes,
+            max_embeddings=config.max_embeddings,
+            pa_pruning=config.pa_pruning,
+            mis_exact_limit=config.mis_exact_limit,
+        )
+    if config.miner == "dgspan":
+        return DgSpan(
+            min_support=config.min_support,
+            min_nodes=config.min_nodes,
+            max_nodes=config.max_nodes,
+            max_embeddings=config.max_embeddings,
+        )
+    raise ValueError(f"unknown miner: {config.miner!r}")
+
+
+def collect_candidates(module: Module, config: PAConfig,
+                       miner=None,
+                       warm: Optional[List[Candidate]] = None,
+                       deadline: Optional[float] = None
+                       ) -> List[Candidate]:
+    """Mine one round; return extractable candidates, best first.
+
+    Fragments are scored as the miner reports them (streaming); the
+    current best benefit is fed back as a lattice floor, pruning every
+    subtree whose optimistic (size, occurrences) bound cannot beat it —
+    both quantities are antimonotone, so the prune never loses the
+    optimum of the "best extractable candidate" query.  Candidates
+    scored along the way (before the floor overtook them) are kept for
+    batch application.
+    """
+    dfgs = build_dfgs(module, min_nodes=0, mined_kinds=config.mined_kinds)
+    if not dfgs:
+        return []
+    miner = miner or _make_miner(config)
+    # lr can be live across blocks (leaf returns, shared cross-jump
+    # tails); a bl may only be inserted where lr is dead-out.
+    lr_live = lr_live_out_blocks(module)
+    best: List[Optional[Candidate]] = [None]
+    collected: List[Candidate] = []
+    for candidate in warm or ():
+        # Still-valid candidates from the previous round warm-start the
+        # benefit floor, so the lattice prunes aggressively from the
+        # first seed onward.
+        collected.append(candidate)
+        if best[0] is None or candidate.sort_key() < best[0].sort_key():
+            best[0] = candidate
+
+    def floor() -> int:
+        return best[0].benefit if best[0] is not None else 0
+
+    def prune_subtree(size_cap: int, occurrence_bound: int) -> bool:
+        return best_possible_benefit(size_cap, occurrence_bound) <= floor()
+
+    def consider(frag) -> None:
+        per_graph = {}
+        for emb in frag.embeddings:
+            per_graph[emb.graph] = per_graph.get(emb.graph, 0) + 1
+        occ_bound = sum(
+            min(count, dfgs[gid].num_nodes // max(1, frag.num_nodes))
+            for gid, count in per_graph.items()
+        )
+        bound = best_possible_benefit(frag.num_nodes, occ_bound)
+        if bound <= floor():
+            return
+        if len(frag.embeddings) > 1000:
+            # per-embedding legality below costs a reachability sweep
+            # each; a deterministic prefix keeps scoring bounded (a
+            # sound benefit undercount)
+            frag.embeddings = frag.embeddings[:1000]
+        method, legal = legal_embeddings(dfgs, frag)
+        if method is None or len(legal) < 2:
+            return
+        if method is ExtractionMethod.CALL:
+            legal = [
+                e for e in legal
+                if dfgs[e.graph].origin not in lr_live
+                and call_site_feasible(dfgs[e.graph], e.nodes)
+            ]
+            if len(legal) < 2:
+                return
+        disjoint = non_overlapping_embeddings(
+            legal, exact_limit=config.mis_exact_limit
+        )
+        kept, union = order_consistent_subset(dfgs, disjoint)
+        if len(kept) < 2:
+            return
+        witness = kept[0]
+        insns = [dfgs[witness.graph].insns[n] for n in witness.nodes]
+        origins = tuple(sorted({dfgs[e.graph].origin for e in kept}))
+        candidate = score(frag, method, insns, kept, union, origins)
+        if candidate is None:
+            return
+        collected.append(candidate)
+        if best[0] is None or candidate.sort_key() < best[0].sort_key():
+            best[0] = candidate
+
+    miner.prune_subtree = prune_subtree
+    miner.on_fragment = consider
+    miner.deadline = deadline
+    try:
+        if miner.max_nodes > 4:
+            # Quick shallow pre-pass: small fragments with many
+            # occurrences are found in milliseconds and set a benefit
+            # floor that prunes most of the deep lattice before the
+            # full-depth pass even starts.
+            saved_max = miner.max_nodes
+            miner.max_nodes = 3
+            try:
+                miner.mine(dfgs)
+            finally:
+                miner.max_nodes = saved_max
+        miner.mine(dfgs)
+        if config.flow_pass and FLOW_KINDS != config.mined_kinds:
+            # Second pass on the data-flow projection; block order and
+            # node numbering are identical, so embeddings transfer
+            # directly and legality still checks the full dep_edges.
+            flow_dfgs = build_dfgs(module, min_nodes=0,
+                                   mined_kinds=FLOW_KINDS)
+            miner.mine(flow_dfgs)
+    finally:
+        miner.prune_subtree = None
+        miner.on_fragment = None
+        miner.deadline = None
+    collected.sort(key=lambda c: c.sort_key())
+    return collected
+
+
+def best_candidate(module: Module, config: PAConfig,
+                   miner=None) -> Optional[Candidate]:
+    """Mine one round and return the highest-benefit extractable candidate."""
+    candidates = collect_candidates(module, config, miner=miner)
+    return candidates[0] if candidates else None
+
+
+def apply_candidate(module: Module, config: PAConfig,
+                    candidate: Candidate) -> ExtractionRecord:
+    """Extract one *candidate* from *module*; returns the step record."""
+    records, __, ___ = apply_batch(module, config, [candidate])
+    if not records:
+        raise RuntimeError("candidate could not be applied")
+    return records[0]
+
+
+def apply_batch(module: Module, config: PAConfig,
+                candidates: List[Candidate]):
+    """Apply candidates best-first, skipping conflicting ones.
+
+    A candidate conflicts when any of its occurrence blocks was already
+    rewritten this round (or, for cross-jumps — which renumber blocks —
+    when its function was touched at all).  Skipped candidates are
+    simply rediscovered (or carried over) by the next mining round.
+
+    Returns ``(records, touched_blocks, touched_functions)``.
+    """
+    dfgs = build_dfgs(module, min_nodes=0, mined_kinds=config.mined_kinds)
+    touched_blocks = set()
+    touched_functions = set()
+    records: List[ExtractionRecord] = []
+    for candidate in candidates:
+        origins = set(candidate.origins) or {
+            dfgs[e.graph].origin for e in candidate.embeddings
+        }
+        if any(
+            origin in touched_blocks or origin[0] in touched_functions
+            for origin in origins
+        ):
+            continue
+        before = module.num_instructions
+        if candidate.method is ExtractionMethod.CALL:
+            symbol = extract_call(
+                module, dfgs, candidate.insns, candidate.embeddings,
+                candidate.union_edges,
+            )
+            touched_blocks |= origins
+            method = "call"
+        else:
+            symbol = extract_crossjump(
+                module, dfgs, candidate.insns, candidate.embeddings,
+                candidate.union_edges,
+            )
+            touched_functions |= {origin[0] for origin in origins}
+            method = "crossjump"
+        saved = before - module.num_instructions
+        if saved != candidate.benefit:
+            raise AssertionError(
+                f"benefit model mismatch: predicted {candidate.benefit}, "
+                f"actual {saved}"
+            )
+        records.append(
+            ExtractionRecord(
+                round=-1,
+                method=method,
+                size=candidate.size,
+                occurrences=candidate.occurrences,
+                benefit=candidate.benefit,
+                new_symbol=symbol,
+                instructions=tuple(str(i) for i in candidate.insns),
+            )
+        )
+    return records, touched_blocks, touched_functions
+
+
+def run_pa(module: Module, config: Optional[PAConfig] = None) -> PAResult:
+    """Run graph-based procedural abstraction to a fixpoint on *module*.
+
+    The module is transformed in place and also returned inside the
+    result for convenience.
+    """
+    config = config or PAConfig()
+    started = time.perf_counter()
+    result = PAResult(
+        module=module,
+        instructions_before=module.num_instructions,
+        instructions_after=module.num_instructions,
+    )
+    deadline = (
+        time.monotonic() + config.time_budget
+        if config.time_budget else None
+    )
+    carryover: List[Candidate] = []
+    for round_index in range(config.max_rounds):
+        miner = _make_miner(config)
+        candidates = collect_candidates(module, config, miner=miner,
+                                        warm=carryover, deadline=deadline)
+        result.lattice_nodes += miner.visited_nodes
+        if not candidates:
+            break
+        if not config.batch:
+            candidates = candidates[:1]
+        records, touched_blocks, touched_functions = apply_batch(
+            module, config, candidates
+        )
+        if not records:
+            break
+        for record in records:
+            record.round = round_index
+        result.records.extend(records)
+        result.rounds = round_index + 1
+        # Candidates whose blocks survived this round untouched remain
+        # valid; they warm-start the next round's benefit floor.  A
+        # cross-jump splits a block in two, renumbering every later
+        # block of the module enumeration, so any cross-jump round
+        # invalidates the carried indices wholesale.
+        if touched_functions:
+            carryover = []
+        else:
+            carryover = [
+                c for c in candidates
+                if not any(o in touched_blocks for o in c.origins)
+            ]
+    result.instructions_after = module.num_instructions
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,65 @@
+"""Basic-block fingerprints (Debray et al. [18]).
+
+The paper's related work speeds up duplicate detection with per-block
+fingerprints: two blocks can only be outlined into one procedure when
+their fingerprints agree, and blocks that differ only in register names
+still collide.  We provide the same device as a prefilter utility: it
+groups candidate-identical blocks cheaply, and the test-suite uses it to
+cross-check the miners (blocks with equal fingerprints and equal text
+must yield whole-block fragments).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.binary.program import BasicBlock, Module
+from repro.pa.canonical import canonical_label
+
+#: Fingerprints cover at most this many leading instructions, like the
+#: fixed-width fingerprints of the original scheme.
+FINGERPRINT_WIDTH = 16
+
+
+def block_fingerprint(block: BasicBlock) -> int:
+    """A register-name-insensitive hash of the block's leading shape.
+
+    Built from canonical labels so that renaming registers preserves the
+    fingerprint (the property Debray et al. exploit); differing
+    fingerprints guarantee the blocks cannot be unified.
+    """
+    shape = tuple(
+        canonical_label(insn)
+        for insn in block.instructions[:FINGERPRINT_WIDTH]
+    ) + (len(block.instructions),)
+    return hash(shape) & 0xFFFFFFFF
+
+
+def group_by_fingerprint(module: Module) -> Dict[int, List[Tuple[str, int]]]:
+    """Group all blocks of non-exempt functions by fingerprint.
+
+    Returns ``fingerprint -> [(function name, block index), ...]``; only
+    groups with at least two members are kept.
+    """
+    groups: Dict[int, List[Tuple[str, int]]] = defaultdict(list)
+    for func in module.functions:
+        if func.pa_exempt:
+            continue
+        for bi, block in enumerate(func.blocks):
+            if block.instructions:
+                groups[block_fingerprint(block)].append((func.name, bi))
+    return {fp: where for fp, where in groups.items() if len(where) > 1}
+
+
+def identical_block_groups(module: Module) -> List[List[Tuple[str, int]]]:
+    """Groups of textually identical whole blocks (exact duplicates)."""
+    by_text: Dict[Tuple[str, ...], List[Tuple[str, int]]] = defaultdict(list)
+    for func in module.functions:
+        if func.pa_exempt:
+            continue
+        for bi, block in enumerate(func.blocks):
+            if block.instructions:
+                key = tuple(str(i) for i in block.instructions)
+                by_text[key].append((func.name, bi))
+    return [group for group in by_text.values() if len(group) > 1]

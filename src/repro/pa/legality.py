@@ -1,0 +1,175 @@
+"""Extraction legality: the paper's "plausibility checks" (§3.5).
+
+A mined fragment must survive checks on two levels before it can be
+outlined:
+
+**Fragment level** (depends only on the instruction texts):
+
+* call/return outlining requires that no instruction transfers control
+  (branches, returns, pc writes) and that none touches the link register
+  — ``bl`` inside the fragment is allowed because the outlined procedure
+  is then bracketed with ``push {lr}`` / ``pop {pc}``, but in that case
+  nothing in the fragment may move ``sp`` (the bracket uses the stack),
+* cross-jump (tail merge) requires the fragment to *end the block* with
+  an unconditional branch or return; if the ending is a link-register
+  return (``bx lr`` / ``mov pc, lr``), nothing inside may write ``lr``.
+
+**Embedding level** (depends on where the fragment sits):
+
+* call outlining requires convexity — contracting the occurrence into a
+  single call must not create a cyclic dependency (paper Fig. 9),
+* cross-jump requires the occurrence to be *successor-closed*: nothing
+  outside may depend on it, so the rest of the block can run first and
+  then jump into the shared tail; the occurrence must also contain the
+  block's control transfer.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.isa.instructions import Instruction
+from repro.isa.registers import LR, PC, SP
+
+from repro.dfg.graph import DFG
+from repro.mining.embeddings import Embedding
+from repro.mining.gspan import Fragment
+from repro.mining.pruning import is_convex
+
+
+class ExtractionMethod(enum.Enum):
+    CALL = "call"
+    CROSSJUMP = "crossjump"
+
+
+def _writes_sp(insn: Instruction) -> bool:
+    return SP in insn.regs_written()
+
+
+def _uses_sp(insn: Instruction) -> bool:
+    return SP in insn.regs_read() or SP in insn.regs_written()
+
+
+def _touches_lr(insn: Instruction) -> bool:
+    """Reads or writes lr explicitly (the implicit bl write is handled
+    by the push/pop bracket)."""
+    if insn.mnemonic == "bl":
+        return False
+    return LR in insn.regs_read() or LR in insn.regs_written()
+
+
+def _reads_pc(insn: Instruction) -> bool:
+    return PC in insn.regs_read()
+
+
+def classify_fragment(insns: Sequence[Instruction]) -> Optional[ExtractionMethod]:
+    """Decide the extraction mechanism from the instruction texts alone.
+
+    Returns None when the fragment can never be outlined.
+    """
+    if not insns:
+        return None
+    terminators = [i for i in insns if i.is_terminator or
+                   (i.is_branch and not i.is_call)]
+    if terminators:
+        return _classify_crossjump(insns, terminators)
+    return _classify_call(insns)
+
+
+def _classify_call(insns: Sequence[Instruction]) -> Optional[ExtractionMethod]:
+    contains_call = any(i.is_call for i in insns)
+    for insn in insns:
+        if _touches_lr(insn) or _reads_pc(insn) or insn.writes_pc:
+            return None
+        if contains_call and not insn.is_call and _uses_sp(insn):
+            # The push {lr} / pop {pc} bracket shifts sp by one word
+            # for the whole body, so *any* sp use inside — including
+            # sp-relative loads and stores — would address the wrong
+            # slot.  (bl itself is exempt: its conservative "reads sp"
+            # models the callee, which sees a balanced stack.)
+            return None
+    return ExtractionMethod.CALL
+
+
+def _classify_crossjump(
+    insns: Sequence[Instruction], terminators: List[Instruction]
+) -> Optional[ExtractionMethod]:
+    # Note: *insns* are in DFS-role order, not program order; positions
+    # carry no meaning here.  Blocks only ever hold control transfers in
+    # their final slot, so the unique terminator necessarily anchors the
+    # tail of every occurrence.
+    if len(terminators) != 1:
+        return None
+    exit_insn = terminators[0]
+    if exit_insn.is_conditional:
+        return None
+    if not (exit_insn.is_return or exit_insn.mnemonic == "b"):
+        return None
+    lr_based_return = exit_insn.is_return and exit_insn.mnemonic != "pop"
+    for insn in insns:
+        if insn is exit_insn:
+            continue
+        if insn.is_terminator or (insn.is_branch and not insn.is_call):
+            return None
+        if _reads_pc(insn) or insn.writes_pc:
+            return None
+        if _touches_lr(insn):
+            return None
+        if lr_based_return and insn.is_call:
+            return None
+    return ExtractionMethod.CROSSJUMP
+
+
+# ----------------------------------------------------------------------
+# embedding level
+# ----------------------------------------------------------------------
+def embedding_legal(
+    dfg: DFG, nodes: Iterable[int], method: ExtractionMethod
+) -> bool:
+    """Check the placement conditions of one occurrence."""
+    node_set = set(nodes)
+    if method is ExtractionMethod.CALL:
+        if not is_convex(dfg, node_set):
+            return False
+        # The occurrence must not contain the block's final control
+        # transfer (that case is cross-jump territory).
+        return True
+    # cross-jump: must contain the last instruction and be successor-closed
+    if dfg.num_nodes - 1 not in node_set:
+        return False
+    for src, dst, __ in dfg.dep_edges:
+        if src in node_set and dst not in node_set:
+            return False
+    return True
+
+
+def legal_embeddings(
+    dfgs: Sequence[DFG], fragment: Fragment
+) -> tuple:
+    """Filter a fragment's embeddings by legality.
+
+    Returns ``(method, embeddings)``; method is None when the fragment
+    is categorically unextractable.
+    """
+    sample = fragment.embeddings[0] if fragment.embeddings else None
+    if sample is None:
+        return None, []
+    insns = _fragment_insns(dfgs, fragment, sample)
+    method = classify_fragment(insns)
+    if method is None:
+        return None, []
+    kept = [
+        emb
+        for emb in fragment.embeddings
+        if embedding_legal(dfgs[emb.graph], emb.nodes, method)
+    ]
+    return method, kept
+
+
+def _fragment_insns(
+    dfgs: Sequence[DFG], fragment: Fragment, emb: Embedding
+) -> List[Instruction]:
+    """The fragment's instructions, in DFS-role order, from one witness."""
+    dfg = dfgs[emb.graph]
+    return [dfg.insns[node] for node in emb.nodes]

@@ -1,0 +1,11 @@
+"""ARM-subset simulator.
+
+The paper validates its transformation by running the compacted binaries
+on embedded hardware; we substitute a small interpreter so that every
+test can execute a program image before and after procedural abstraction
+and assert identical observable behaviour (exit code and output stream).
+"""
+
+from repro.sim.machine import ExecutionError, Machine, RunResult, run_image
+
+__all__ = ["Machine", "RunResult", "run_image", "ExecutionError"]

@@ -1,0 +1,129 @@
+"""The machine: image loading, the fetch/decode/execute loop, syscalls.
+
+System-call interface (``swi #n``):
+
+====  =========================================
+ n    effect
+====  =========================================
+ 0    exit with status ``r0``
+ 1    write the byte ``r0 & 0xff`` to the output stream
+ 2    write the signed decimal representation of ``r0``
+====  =========================================
+
+Programs normally terminate with ``swi #0``; returning from the entry
+function to the sentinel link-register value also exits (status ``r0``),
+which keeps hand-written test fragments short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.isa.decoder import DecodingError, decode
+from repro.isa.instructions import Instruction
+from repro.isa.registers import LR, PC, SP
+
+from repro.binary.image import STACK_TOP, Image
+from repro.sim.cpu import CPU, CPUError, to_signed
+from repro.sim.memory import Memory
+
+#: Returning to this address terminates the program.
+EXIT_SENTINEL = 0xFFFF0000
+
+SYS_EXIT = 0
+SYS_PUTC = 1
+SYS_PUTINT = 2
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program cannot be executed to completion."""
+
+
+class _ExitProgram(Exception):
+    def __init__(self, status: int):
+        self.status = status & 0xFF
+
+
+@dataclass
+class RunResult:
+    """Observable behaviour of one program run."""
+
+    exit_code: int
+    output: bytes
+    steps: int
+
+    @property
+    def output_text(self) -> str:
+        return self.output.decode("latin-1")
+
+
+class Machine:
+    """An ARM-subset machine executing a statically linked image."""
+
+    def __init__(self, image: Image, max_steps: int = 50_000_000):
+        self.image = image
+        self.max_steps = max_steps
+        self.memory = Memory()
+        self.memory.write_words(image.text_base, image.text)
+        self.memory.write_words(image.data_base, image.data)
+        self.cpu = CPU(self.memory, self._syscall)
+        self.cpu.regs[PC] = image.entry
+        self.cpu.regs[SP] = STACK_TOP
+        self.cpu.regs[LR] = EXIT_SENTINEL
+        self.output = bytearray()
+        self._decode_cache: Dict[int, Instruction] = {}
+
+    # ------------------------------------------------------------------
+    def _syscall(self, number: int, cpu: CPU) -> None:
+        if number == SYS_EXIT:
+            raise _ExitProgram(cpu.regs[0])
+        if number == SYS_PUTC:
+            self.output.append(cpu.regs[0] & 0xFF)
+            return
+        if number == SYS_PUTINT:
+            self.output.extend(str(to_signed(cpu.regs[0])).encode())
+            return
+        raise ExecutionError(f"unknown system call: swi #{number}")
+
+    def _fetch(self, addr: int) -> Instruction:
+        insn = self._decode_cache.get(addr)
+        if insn is None:
+            word = self.memory.load_word(addr)
+            try:
+                insn = decode(word, addr)
+            except DecodingError as exc:
+                raise ExecutionError(
+                    f"pc reached a non-instruction word at {addr:#x}: {exc}"
+                ) from exc
+            self._decode_cache[addr] = insn
+        return insn
+
+    def run(self) -> RunResult:
+        """Run the program to completion and return its behaviour."""
+        cpu = self.cpu
+        steps = 0
+        try:
+            while True:
+                pc = cpu.regs[PC]
+                if pc == EXIT_SENTINEL:
+                    raise _ExitProgram(cpu.regs[0])
+                if pc % 4:
+                    raise ExecutionError(f"unaligned pc: {pc:#x}")
+                insn = self._fetch(pc)
+                try:
+                    cpu.step(insn)
+                except CPUError as exc:
+                    raise ExecutionError(f"at {pc:#x}: {exc}") from exc
+                steps += 1
+                if steps >= self.max_steps:
+                    raise ExecutionError(
+                        f"step budget exhausted after {steps} instructions"
+                    )
+        except _ExitProgram as exit_:
+            return RunResult(exit_.status, bytes(self.output), steps)
+
+
+def run_image(image: Image, max_steps: int = 50_000_000) -> RunResult:
+    """Convenience wrapper: execute *image* and return the result."""
+    return Machine(image, max_steps=max_steps).run()

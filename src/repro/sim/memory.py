@@ -1,0 +1,68 @@
+"""Byte-addressable little-endian memory for the simulator.
+
+Backed by 4 KiB pages allocated on demand, so the sparse ARM address
+space (text at 0x8000, data at 0x40000, stack below 0x80000) costs only
+what is touched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class Memory:
+    """Flat little-endian memory with on-demand page allocation."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> bytearray:
+        page_no = addr >> PAGE_BITS
+        page = self._pages.get(page_no)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_no] = page
+        return page
+
+    # ------------------------------------------------------------------
+    # byte access
+    # ------------------------------------------------------------------
+    def load_byte(self, addr: int) -> int:
+        return self._page(addr)[addr & PAGE_MASK]
+
+    def store_byte(self, addr: int, value: int) -> None:
+        self._page(addr)[addr & PAGE_MASK] = value & 0xFF
+
+    # ------------------------------------------------------------------
+    # word access (little-endian; may straddle a page boundary)
+    # ------------------------------------------------------------------
+    def load_word(self, addr: int) -> int:
+        if addr & PAGE_MASK <= PAGE_SIZE - 4:
+            page = self._page(addr)
+            off = addr & PAGE_MASK
+            return int.from_bytes(page[off:off + 4], "little")
+        return (
+            self.load_byte(addr)
+            | (self.load_byte(addr + 1) << 8)
+            | (self.load_byte(addr + 2) << 16)
+            | (self.load_byte(addr + 3) << 24)
+        )
+
+    def store_word(self, addr: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if addr & PAGE_MASK <= PAGE_SIZE - 4:
+            page = self._page(addr)
+            off = addr & PAGE_MASK
+            page[off:off + 4] = value.to_bytes(4, "little")
+            return
+        for i in range(4):
+            self.store_byte(addr + i, (value >> (8 * i)) & 0xFF)
+
+    def write_words(self, addr: int, words) -> None:
+        """Bulk-initialize consecutive words starting at *addr*."""
+        for i, word in enumerate(words):
+            self.store_word(addr + 4 * i, word)

@@ -1,0 +1,18 @@
+"""MiBench-like workload programs (paper §4).
+
+The paper evaluates on eight MiBench programs compiled ``-Os`` against
+dietlibc.  Each module here provides the same *kind* of program written
+in mini-C, together with a pure-Python reference implementation that
+predicts the program's exact output — every workload run is therefore a
+differential test of the whole stack (compiler, linker, loader,
+abstraction, simulator).
+"""
+
+from repro.workloads.suite import (
+    PROGRAMS,
+    Workload,
+    compile_workload,
+    verify_workload,
+)
+
+__all__ = ["PROGRAMS", "Workload", "compile_workload", "verify_workload"]

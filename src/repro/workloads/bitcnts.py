@@ -1,0 +1,115 @@
+"""bitcnts: bit-counting kernels (MiBench automotive/bitcount).
+
+Like the original, several independent bit-count implementations run
+over the same pseudo-random input stream and report their totals —
+"this program which only processes the given input and calculates the
+number of bits needed to represent it, does not offer as much
+optimization potential as other test programs" (paper §4.2: bitcnts is
+the *worst* case for graph-based PA).
+"""
+
+NAME = "bitcnts"
+
+SOURCE = r"""
+int seed;
+int nibble_table[16] = {0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4};
+
+int next_rand() {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0x7fffffff;
+    return seed;
+}
+
+int count_shift(int x) {
+    int n = 0;
+    while (x != 0) {
+        n = n + (x & 1);
+        x = x >> 1;
+    }
+    return n;
+}
+
+int count_kernighan(int x) {
+    int n = 0;
+    while (x != 0) {
+        x = x & (x - 1);
+        n = n + 1;
+    }
+    return n;
+}
+
+int count_nibbles(int x) {
+    int n = 0;
+    while (x != 0) {
+        n = n + nibble_table[x & 15];
+        x = x >> 4;
+    }
+    return n;
+}
+
+int count_bytes(int x) {
+    int n = 0;
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        int byte = x & 255;
+        n = n + nibble_table[byte & 15] + nibble_table[(byte >> 4) & 15];
+        x = x >> 8;
+    }
+    return n;
+}
+
+int count_pairs(int x) {
+    int n = 0;
+    while (x != 0) {
+        int pair = x & 3;
+        if (pair == 3) { n = n + 2; }
+        else if (pair != 0) { n = n + 1; }
+        x = x >> 2;
+    }
+    return n;
+}
+
+int main() {
+    int t0 = 0;
+    int t1 = 0;
+    int t2 = 0;
+    int t3 = 0;
+    int t4 = 0;
+    seed = 1;
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+        int x = next_rand();
+        t0 = t0 + count_shift(x);
+        t1 = t1 + count_kernighan(x);
+        t2 = t2 + count_nibbles(x);
+        t3 = t3 + count_bytes(x);
+        t4 = t4 + count_pairs(x);
+    }
+    print_int(t0); print_nl(0);
+    print_int(t1); print_nl(0);
+    print_int(t2); print_nl(0);
+    print_int(t3); print_nl(0);
+    print_int(t4); print_nl(0);
+    if (t0 == t1 && t1 == t2 && t2 == t3 && t3 == t4) {
+        puts_w("agree");
+    } else {
+        puts_w("DISAGREE");
+    }
+    print_nl(0);
+    return 0;
+}
+"""
+
+
+def expected_output() -> str:
+    """Reference implementation in Python."""
+    seed = 1
+    total = 0
+    for __ in range(64):
+        seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+        total += bin(seed).count("1")
+    lines = [str(total)] * 5 + ["agree"]
+    return "\n".join(lines) + "\n"
+
+
+EXPECTED_EXIT = 0

@@ -1,0 +1,96 @@
+"""crc: table-driven CRC-32 (MiBench telecomm/CRC32).
+
+Builds the 256-entry reflected CRC-32 table at startup, then checksums a
+pseudo-random message with the table-driven loop and — as a cross-check
+— with the bit-at-a-time loop.
+"""
+
+NAME = "crc"
+
+SOURCE = r"""
+int crc_table[256];
+int message[96];
+int seed;
+
+int next_rand() {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0x7fffffff;
+    return seed;
+}
+
+int build_table() {
+    int n;
+    for (n = 0; n < 256; n = n + 1) {
+        int c = n;
+        int k;
+        for (k = 0; k < 8; k = k + 1) {
+            if (c & 1) {
+                c = (c >> 1) ^ 0xedb88320;
+            } else {
+                c = c >> 1;
+            }
+        }
+        crc_table[n] = c;
+    }
+    return 0;
+}
+
+int crc_bytewise(int n) {
+    int crc = ~0;
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        int byte = message[i] & 255;
+        crc = (crc >> 8) ^ crc_table[(crc ^ byte) & 255];
+    }
+    return ~crc;
+}
+
+int crc_bitwise(int n) {
+    int crc = ~0;
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        int byte = message[i] & 255;
+        crc = crc ^ byte;
+        int k;
+        for (k = 0; k < 8; k = k + 1) {
+            if (crc & 1) {
+                crc = (crc >> 1) ^ 0xedb88320;
+            } else {
+                crc = crc >> 1;
+            }
+        }
+    }
+    return ~crc;
+}
+
+int main() {
+    seed = 7;
+    int i;
+    for (i = 0; i < 96; i = i + 1) {
+        message[i] = next_rand() & 255;
+    }
+    build_table();
+    int a = crc_bytewise(96);
+    int b = crc_bitwise(96);
+    print_hex(a); print_nl(0);
+    print_hex(b); print_nl(0);
+    if (a == b) { puts_w("match"); } else { puts_w("MISMATCH"); }
+    print_nl(0);
+    return 0;
+}
+"""
+
+
+def expected_output() -> str:
+    seed = 7
+    msg = []
+    for __ in range(96):
+        seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+        msg.append(seed & 255)
+    import binascii
+
+    crc = binascii.crc32(bytes(msg)) & 0xFFFFFFFF
+    return f"{crc:08x}\n{crc:08x}\nmatch\n"
+
+
+EXPECTED_EXIT = 0

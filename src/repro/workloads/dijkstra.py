@@ -1,0 +1,142 @@
+"""dijkstra: single-source shortest paths (MiBench network/dijkstra).
+
+An adjacency-matrix Dijkstra over a pseudo-random 12-node graph, run
+from several sources.
+"""
+
+NAME = "dijkstra"
+
+N = 12
+INF = 0x3FFFFFFF
+
+SOURCE = r"""
+int adj[144];
+int dist[12];
+int visited[12];
+int seed;
+
+int next_rand() {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0x7fffffff;
+    return seed;
+}
+
+int build_graph() {
+    int i;
+    int j;
+    for (i = 0; i < 12; i = i + 1) {
+        for (j = 0; j < 12; j = j + 1) {
+            int r = next_rand() % 32;
+            if (i == j) {
+                adj[i * 12 + j] = 0;
+            } else if (r < 20) {
+                adj[i * 12 + j] = r + 1;
+            } else {
+                adj[i * 12 + j] = 0x3fffffff;
+            }
+        }
+    }
+    return 0;
+}
+
+int dijkstra(int source) {
+    int i;
+    for (i = 0; i < 12; i = i + 1) {
+        dist[i] = 0x3fffffff;
+        visited[i] = 0;
+    }
+    dist[source] = 0;
+    int round;
+    for (round = 0; round < 12; round = round + 1) {
+        int best = -1;
+        int best_d = 0x3fffffff;
+        for (i = 0; i < 12; i = i + 1) {
+            if (visited[i] == 0 && dist[i] < best_d) {
+                best = i;
+                best_d = dist[i];
+            }
+        }
+        if (best < 0) {
+            return 0;
+        }
+        visited[best] = 1;
+        for (i = 0; i < 12; i = i + 1) {
+            int w = adj[best * 12 + i];
+            if (w < 0x3fffffff) {
+                int nd = best_d + w;
+                if (nd < dist[i]) {
+                    dist[i] = nd;
+                }
+            }
+        }
+    }
+    return 0;
+}
+
+int main() {
+    seed = 42;
+    build_graph();
+    int s;
+    for (s = 0; s < 3; s = s + 1) {
+        dijkstra(s * 4);
+        int i;
+        for (i = 0; i < 12; i = i + 1) {
+            if (dist[i] >= 0x3fffffff) {
+                putc('*');
+            } else {
+                print_int(dist[i]);
+            }
+            putc(' ');
+        }
+        print_nl(0);
+    }
+    return 0;
+}
+"""
+
+
+def expected_output() -> str:
+    seed = 42
+
+    def next_rand():
+        nonlocal seed
+        seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+        return seed
+
+    adj = [[0] * N for __ in range(N)]
+    for i in range(N):
+        for j in range(N):
+            r = next_rand() % 32
+            if i == j:
+                adj[i][j] = 0
+            elif r < 20:
+                adj[i][j] = r + 1
+            else:
+                adj[i][j] = INF
+
+    lines = []
+    for s in range(3):
+        source = s * 4
+        dist = [INF] * N
+        visited = [False] * N
+        dist[source] = 0
+        for __ in range(N):
+            best, best_d = -1, INF
+            for i in range(N):
+                if not visited[i] and dist[i] < best_d:
+                    best, best_d = i, dist[i]
+            if best < 0:
+                break
+            visited[best] = True
+            for i in range(N):
+                w = adj[best][i]
+                if w < INF and best_d + w < dist[i]:
+                    dist[i] = best_d + w
+        parts = []
+        for i in range(N):
+            parts.append("*" if dist[i] >= INF else str(dist[i]))
+        lines.append(" ".join(parts) + " ")
+    return "\n".join(lines) + "\n"
+
+
+EXPECTED_EXIT = 0

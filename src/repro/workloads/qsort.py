@@ -1,0 +1,127 @@
+"""qsort: quicksort + insertion-sort cross-check (MiBench auto/qsort).
+
+Iterative quicksort with an explicit stack (no recursion in the hot
+path, like embedded qsort implementations) over a pseudo-random array,
+validated against an insertion sort of a copy.
+"""
+
+NAME = "qsort"
+
+SIZE = 80
+
+SOURCE = r"""
+int data[80];
+int copy[80];
+int stack_lo[32];
+int stack_hi[32];
+int seed;
+
+int next_rand() {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0x7fffffff;
+    return seed;
+}
+
+int partition(int lo, int hi) {
+    int pivot = data[hi];
+    int i = lo - 1;
+    int j;
+    for (j = lo; j < hi; j = j + 1) {
+        if (data[j] <= pivot) {
+            i = i + 1;
+            int t = data[i];
+            data[i] = data[j];
+            data[j] = t;
+        }
+    }
+    int t2 = data[i + 1];
+    data[i + 1] = data[hi];
+    data[hi] = t2;
+    return i + 1;
+}
+
+int quicksort(int n) {
+    int top = 0;
+    stack_lo[0] = 0;
+    stack_hi[0] = n - 1;
+    top = 1;
+    while (top > 0) {
+        top = top - 1;
+        int lo = stack_lo[top];
+        int hi = stack_hi[top];
+        if (lo < hi) {
+            int p = partition(lo, hi);
+            stack_lo[top] = lo;
+            stack_hi[top] = p - 1;
+            top = top + 1;
+            stack_lo[top] = p + 1;
+            stack_hi[top] = hi;
+            top = top + 1;
+        }
+    }
+    return 0;
+}
+
+int insertion_sort(int n) {
+    int i;
+    for (i = 1; i < n; i = i + 1) {
+        int key = copy[i];
+        int j = i - 1;
+        while (j >= 0 && copy[j] > key) {
+            copy[j + 1] = copy[j];
+            j = j - 1;
+        }
+        copy[j + 1] = key;
+    }
+    return 0;
+}
+
+int main() {
+    seed = 1234;
+    int i;
+    for (i = 0; i < 80; i = i + 1) {
+        int v = next_rand() % 1000;
+        data[i] = v;
+        copy[i] = v;
+    }
+    quicksort(80);
+    insertion_sort(80);
+    int sorted = 1;
+    int same = 1;
+    int check = 0;
+    for (i = 0; i < 80; i = i + 1) {
+        if (i > 0 && data[i - 1] > data[i]) { sorted = 0; }
+        if (data[i] != copy[i]) { same = 0; }
+        check = check + data[i] * (i + 1);
+    }
+    print_int(sorted); print_nl(0);
+    print_int(same); print_nl(0);
+    print_int(check); print_nl(0);
+    print_int(data[0]); putc(' '); print_int(data[40]); putc(' ');
+    print_int(data[79]); print_nl(0);
+    return 0;
+}
+"""
+
+
+def expected_output() -> str:
+    seed = 1234
+
+    def next_rand():
+        nonlocal seed
+        seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+        return seed
+
+    data = [next_rand() % 1000 for __ in range(SIZE)]
+    data.sort()
+    check = sum(v * (i + 1) for i, v in enumerate(data)) & 0xFFFFFFFF
+    lines = [
+        "1",
+        "1",
+        str(check),
+        f"{data[0]} {data[40]} {data[79]}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+EXPECTED_EXIT = 0

@@ -1,0 +1,124 @@
+"""search: Horspool substring search (MiBench office/stringsearch).
+
+Builds the bad-character skip table per pattern and scans a synthetic
+text for several patterns, cross-checked against the naive scanner.
+"""
+
+NAME = "search"
+
+SOURCE = r"""
+int text[240];
+int pattern[8];
+int skip[32];
+int seed;
+
+int next_rand() {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0x7fffffff;
+    return seed;
+}
+
+int fill_text() {
+    int i;
+    for (i = 0; i < 240; i = i + 1) {
+        text[i] = next_rand() % 26;
+    }
+    return 0;
+}
+
+int load_pattern(int offset, int len) {
+    int i;
+    for (i = 0; i < len; i = i + 1) {
+        pattern[i] = text[offset + i];
+    }
+    return 0;
+}
+
+int build_skip(int len) {
+    int i;
+    for (i = 0; i < 32; i = i + 1) {
+        skip[i] = len;
+    }
+    for (i = 0; i < len - 1; i = i + 1) {
+        skip[pattern[i]] = len - 1 - i;
+    }
+    return 0;
+}
+
+int horspool(int n, int len) {
+    int count = 0;
+    int pos = 0;
+    while (pos + len <= n) {
+        int j = len - 1;
+        while (j >= 0 && text[pos + j] == pattern[j]) {
+            j = j - 1;
+        }
+        if (j < 0) {
+            count = count + 1;
+            pos = pos + 1;
+        } else {
+            pos = pos + skip[text[pos + len - 1]];
+        }
+    }
+    return count;
+}
+
+int naive(int n, int len) {
+    int count = 0;
+    int pos = 0;
+    while (pos + len <= n) {
+        int j = 0;
+        while (j < len && text[pos + j] == pattern[j]) {
+            j = j + 1;
+        }
+        if (j == len) {
+            count = count + 1;
+        }
+        pos = pos + 1;
+    }
+    return count;
+}
+
+int main() {
+    seed = 2024;
+    fill_text();
+    int trial;
+    for (trial = 0; trial < 4; trial = trial + 1) {
+        int offset = trial * 50 + 3;
+        int len = 3 + trial;
+        load_pattern(offset, len);
+        build_skip(len);
+        int a = horspool(240, len);
+        int b = naive(240, len);
+        print_int(a); putc(' '); print_int(b);
+        if (a == b) { puts_w(" ok"); } else { puts_w(" BAD"); }
+        print_nl(0);
+    }
+    return 0;
+}
+"""
+
+
+def expected_output() -> str:
+    seed = 2024
+
+    def next_rand():
+        nonlocal seed
+        seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+        return seed
+
+    text = [next_rand() % 26 for __ in range(240)]
+    lines = []
+    for trial in range(4):
+        offset = trial * 50 + 3
+        length = 3 + trial
+        pattern = text[offset:offset + length]
+        count = 0
+        for pos in range(0, 240 - length + 1):
+            if text[pos:pos + length] == pattern:
+                count += 1
+        lines.append(f"{count} {count} ok")
+    return "\n".join(lines) + "\n"
+
+
+EXPECTED_EXIT = 0

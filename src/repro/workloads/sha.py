@@ -1,0 +1,161 @@
+"""sha: SHA-1 compression function (MiBench security/sha).
+
+Runs the real SHA-1 compression (message schedule + 4 phases of 20
+rounds, each phase with its own boolean function and constant) over two
+pseudo-random 512-bit blocks.  The four near-identical-but-not-equal
+phase loops are classic graph-PA material.
+"""
+
+NAME = "sha"
+
+SOURCE = r"""
+int w[80];
+int h0; int h1; int h2; int h3; int h4;
+int seed;
+
+int next_rand() {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0x7fffffff;
+    return seed;
+}
+
+int rotl5(int x) {
+    return (x << 5) | (x >> 27);
+}
+
+int rotl30(int x) {
+    return (x << 30) | (x >> 2);
+}
+
+int rotl1(int x) {
+    return (x << 1) | (x >> 31);
+}
+
+int schedule() {
+    int t;
+    for (t = 16; t < 80; t = t + 1) {
+        w[t] = rotl1(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]);
+    }
+    return 0;
+}
+
+int compress() {
+    int a = h0;
+    int b = h1;
+    int c = h2;
+    int d = h3;
+    int e = h4;
+    int t;
+    for (t = 0; t < 20; t = t + 1) {
+        int f = (b & c) | ((~b) & d);
+        int tmp = rotl5(a) + f + e + w[t] + 0x5a827999;
+        e = d;
+        d = c;
+        c = rotl30(b);
+        b = a;
+        a = tmp;
+    }
+    for (t = 20; t < 40; t = t + 1) {
+        int f = b ^ c ^ d;
+        int tmp = rotl5(a) + f + e + w[t] + 0x6ed9eba1;
+        e = d;
+        d = c;
+        c = rotl30(b);
+        b = a;
+        a = tmp;
+    }
+    for (t = 40; t < 60; t = t + 1) {
+        int f = (b & c) | (b & d) | (c & d);
+        int tmp = rotl5(a) + f + e + w[t] + 0x8f1bbcdc;
+        e = d;
+        d = c;
+        c = rotl30(b);
+        b = a;
+        a = tmp;
+    }
+    for (t = 60; t < 80; t = t + 1) {
+        int f = b ^ c ^ d;
+        int tmp = rotl5(a) + f + e + w[t] + 0xca62c1d6;
+        e = d;
+        d = c;
+        c = rotl30(b);
+        b = a;
+        a = tmp;
+    }
+    h0 = h0 + a;
+    h1 = h1 + b;
+    h2 = h2 + c;
+    h3 = h3 + d;
+    h4 = h4 + e;
+    return 0;
+}
+
+int main() {
+    h0 = 0x67452301;
+    h1 = 0xefcdab89;
+    h2 = 0x98badcfe;
+    h3 = 0x10325476;
+    h4 = 0xc3d2e1f0;
+    seed = 31337;
+    int block;
+    for (block = 0; block < 2; block = block + 1) {
+        int i;
+        for (i = 0; i < 16; i = i + 1) {
+            w[i] = next_rand() ^ (next_rand() << 16);
+        }
+        schedule();
+        compress();
+    }
+    print_hex(h0);
+    print_hex(h1);
+    print_hex(h2);
+    print_hex(h3);
+    print_hex(h4);
+    print_nl(0);
+    return 0;
+}
+"""
+
+_M = 0xFFFFFFFF
+
+
+def expected_output() -> str:
+    seed = 31337
+
+    def next_rand():
+        nonlocal seed
+        seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+        return seed
+
+    def rotl(x, n):
+        return ((x << n) | (x >> (32 - n))) & _M
+
+    h = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+    for __ in range(2):
+        w = []
+        for __i in range(16):
+            lo = next_rand()
+            hi = next_rand()
+            w.append((lo ^ (hi << 16)) & _M)
+        for t in range(16, 80):
+            w.append(rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+        a, b, c, d, e = h
+        for t in range(80):
+            if t < 20:
+                f, k = (b & c) | (~b & d), 0x5A827999
+            elif t < 40:
+                f, k = b ^ c ^ d, 0x6ED9EBA1
+            elif t < 60:
+                f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+            else:
+                f, k = b ^ c ^ d, 0xCA62C1D6
+            tmp = (rotl(a, 5) + (f & _M) + e + w[t] + k) & _M
+            a, b, c, d, e = tmp, a, rotl(b, 30), c, d
+        h = [
+            (h[0] + a) & _M, (h[1] + b) & _M, (h[2] + c) & _M,
+            (h[3] + d) & _M, (h[4] + e) & _M,
+        ]
+    return "".join(f"{x:08x}" for x in h) + "\n"
+
+
+EXPECTED_EXIT = 0

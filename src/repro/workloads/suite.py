@@ -1,0 +1,84 @@
+"""The workload suite: the paper's Table 1 program set.
+
+Each workload module provides ``NAME``, ``SOURCE`` (mini-C),
+``expected_output()`` (a pure-Python reference) and ``EXPECTED_EXIT``.
+``verify_workload`` runs the compiled image in the simulator and checks
+it against the reference — used both by tests and by the benchmark
+harness to guarantee that abstraction preserved behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.binary.layout import layout
+from repro.binary.program import Module
+from repro.minicc.driver import compile_to_module
+from repro.sim.machine import run_image
+
+from repro.workloads import (  # noqa: F401  (re-exported table below)
+    bitcnts as _bitcnts,
+)
+from repro.workloads import crc as _crc
+from repro.workloads import dijkstra as _dijkstra
+from repro.workloads import patricia as _patricia
+from repro.workloads import qsort as _qsort
+from repro.workloads import rijndael as _rijndael
+from repro.workloads import search as _search
+from repro.workloads import sha as _sha
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program."""
+
+    name: str
+    source: str
+    expected_output: Callable[[], str]
+    expected_exit: int = 0
+
+
+def _workload(module) -> Workload:
+    return Workload(
+        name=module.NAME,
+        source=module.SOURCE,
+        expected_output=module.expected_output,
+        expected_exit=module.EXPECTED_EXIT,
+    )
+
+
+#: The paper's benchmark set, in Table 1 order.
+PROGRAMS: Dict[str, Workload] = {
+    module.NAME: _workload(module)
+    for module in (
+        _bitcnts, _crc, _dijkstra, _patricia, _qsort, _rijndael,
+        _search, _sha,
+    )
+}
+
+
+def compile_workload(name: str, schedule: bool = True) -> Module:
+    """Compile one workload to a fresh rewritable module."""
+    return compile_to_module(PROGRAMS[name].source, schedule=schedule)
+
+
+def verify_workload(name: str, module: Module,
+                    max_steps: int = 2_000_000) -> None:
+    """Run *module* in the simulator; assert reference behaviour.
+
+    Raises AssertionError on any deviation — the acceptance check every
+    abstraction run must pass.
+    """
+    workload = PROGRAMS[name]
+    result = run_image(layout(module), max_steps=max_steps)
+    expected = workload.expected_output()
+    if result.output_text != expected:
+        raise AssertionError(
+            f"{name}: output mismatch\n--- expected ---\n{expected}"
+            f"--- actual ---\n{result.output_text}"
+        )
+    if result.exit_code != workload.expected_exit:
+        raise AssertionError(
+            f"{name}: exit {result.exit_code} != {workload.expected_exit}"
+        )

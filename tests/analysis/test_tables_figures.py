@@ -1,0 +1,66 @@
+"""Table/figure formatters."""
+
+from repro.analysis.figures import format_fig11, format_fig12
+from repro.analysis.tables import (
+    Table1Row,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+from repro.dfg.stats import DegreeHistogram, FanoutSummary
+
+ROWS = [
+    Table1Row("alpha", 1000, 10, 15, 25),
+    Table1Row("beta", 2000, 20, 25, 45),
+]
+
+
+def test_table1_totals_and_ratio():
+    text = format_table1(ROWS)
+    assert "alpha" in text and "beta" in text
+    assert "3000" in text       # total instructions
+    assert "30" in text and "70" in text
+    assert "2.33x" in text      # 70 / 30
+
+
+def test_table1_empty_sfx_no_ratio():
+    text = format_table1([Table1Row("x", 10, 0, 0, 0)])
+    assert "improvement" not in text
+
+
+def test_table2_fractions():
+    text = format_table2({
+        "alpha": FanoutSummary(high_degree=30, low_degree=70),
+    })
+    assert "30.00%" in text
+    assert "total" in text
+
+
+def test_table3_layout():
+    hist = DegreeHistogram((5, 3, 1, 1, 0), (4, 4, 1, 1, 0))
+    text = format_table3({"alpha": hist})
+    assert "In" in text and "Out" in text
+    assert text.count("alpha") == 1
+
+
+def test_fig11_percentages():
+    text = format_fig11(ROWS)
+    assert "+50.0%" in text      # alpha DgSpan: (15-10)/10
+    assert "+150.0%" in text     # alpha Edgar
+    assert "average" in text
+
+
+def test_fig11_handles_zero_sfx():
+    text = format_fig11([Table1Row("x", 10, 0, 5, 5)])
+    assert "Fig. 11" in text
+
+
+def test_fig12_shares():
+    text = format_fig12({"edgar": (9, 1), "sfx": (4, 0)})
+    assert "10.0%" in text
+    assert "edgar" in text and "sfx" in text
+
+
+def test_fig12_empty_counts():
+    text = format_fig12({"edgar": (0, 0)})
+    assert "edgar" in text

@@ -1,0 +1,142 @@
+"""Function and basic-block splitting."""
+
+import pytest
+
+from repro.binary.blocks import SplitError, module_from_asm
+from repro.isa.assembler import parse_program
+
+from tests.conftest import module_from_source
+
+
+def test_functions_split_at_call_targets():
+    module = module_from_source(
+        """
+        _start:
+            bl helper
+            swi #0
+        helper:
+            mov pc, lr
+        """
+    )
+    assert [f.name for f in module.functions] == ["_start", "helper"]
+
+
+def test_uncalled_trailing_code_folds_into_previous_function():
+    module = module_from_source(
+        """
+        _start:
+            swi #0
+        orphan:
+            mov pc, lr
+        """
+    )
+    assert [f.name for f in module.functions] == ["_start"]
+    assert module.functions[0].num_instructions == 2
+
+
+def test_block_leaders_at_branch_targets_and_after_terminators():
+    module = module_from_source(
+        """
+        _start:
+            mov r0, #0
+        loop:
+            add r0, r0, #1
+            cmp r0, #5
+            blt loop
+            swi #0
+        """
+    )
+    func = module.functions[0]
+    # blocks: [mov], [add/cmp/blt], [swi]
+    assert [len(b) for b in func.blocks] == [1, 3, 1]
+    assert func.blocks[1].labels == ["loop"]
+
+
+def test_conditional_branch_falls_through():
+    module = module_from_source(
+        """
+        _start:
+            cmp r0, #0
+            beq skip
+            mov r1, #1
+        skip:
+            swi #0
+        """
+    )
+    blocks = module.functions[0].blocks
+    assert blocks[0].falls_through
+    assert blocks[1].falls_through
+    # swi is not a control transfer, so the last block "falls through"
+    # (off the end of the function; at runtime the swi exits first)
+    assert blocks[2].falls_through
+    assert blocks[2].labels == ["skip"]
+
+
+def test_address_taken_function_is_exempt():
+    module = module_from_source(
+        """
+        _start:
+            ldr r0, =callback
+            swi #0
+        callback:
+            mov pc, lr
+        """
+    )
+    callback = module.function("callback")
+    assert callback.pa_exempt
+    assert not module.function("_start").pa_exempt
+
+
+def test_function_pointer_in_data_marks_exempt():
+    module = module_from_source(
+        """
+        .text
+        _start:
+            swi #0
+        handler:
+            mov pc, lr
+        .data
+        vector: .word handler
+        """
+    )
+    # handler's address escapes through the jump table
+    assert module.function("handler").pa_exempt
+
+
+def test_entry_must_exist():
+    with pytest.raises(SplitError):
+        module_from_source("main:\n swi #0\n", entry="_start")
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(SplitError):
+        module_from_source("_start:\n_start2:\n swi #0\n_start2:\n swi #0\n")
+
+
+def test_num_instructions():
+    module = module_from_source(
+        """
+        _start:
+            mov r0, #1
+            mov r1, #2
+            swi #0
+        """
+    )
+    assert module.num_instructions == 3
+
+
+def test_render_roundtrip():
+    source = """
+        _start:
+            bl f
+            swi #0
+        f:
+            push {lr}
+            cmp r0, #3
+            addlt r0, r0, #1
+            pop {pc}
+    """
+    module = module_from_source(source)
+    again = module_from_asm(parse_program(module.render()), entry="_start")
+    assert again.render() == module.render()
+    assert again.num_instructions == module.num_instructions

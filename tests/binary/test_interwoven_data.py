@@ -1,0 +1,122 @@
+"""Interwoven data (literal pools) — paper §2.1 step 5 and Fig. 10."""
+
+import pytest
+
+from repro.binary.image import DATA_BASE, TEXT_BASE, Image
+from repro.binary.layout import layout
+from repro.binary.loader import LoaderError, load_image
+from repro.sim.machine import run_image
+
+from tests.conftest import module_from_source
+
+
+def test_pool_words_detected_even_when_decodable():
+    """A pool word that happens to decode as a valid instruction must
+    still be classified as data (the paper's fixpoint rule)."""
+    module = module_from_source(
+        """
+        _start:
+            ldr r0, =big
+            ldr r0, [r0]
+            swi #2
+            mov r0, #0
+            bx lr
+        .data
+        big: .word 77
+        """
+    )
+    image = layout(module)
+    # the pool holds DATA_BASE = 0x40000, which decodes as andeq-ish
+    assert DATA_BASE in image.text
+    recovered = load_image(image)
+    result = run_image(layout(recovered))
+    assert result.output_text == "77"
+
+
+def test_numeric_literal_pool_roundtrip():
+    module = module_from_source(
+        """
+        _start:
+            ldr r0, =305419896
+            swi #2
+            mov r0, #0
+            bx lr
+        """
+    )
+    image = layout(module)
+    assert 305419896 in image.text
+    recovered = load_image(image)
+    assert run_image(layout(recovered)).output_text == "305419896"
+
+
+def test_pool_shared_within_function():
+    """Two loads of the same literal share one pool slot."""
+    module = module_from_source(
+        """
+        _start:
+            ldr r0, =99999
+            ldr r1, =99999
+            add r0, r0, r1
+            swi #2
+            mov r0, #0
+            bx lr
+        """
+    )
+    image = layout(module)
+    assert image.text.count(99999) == 1
+    assert run_image(image).output_text == "199998"
+
+
+def test_per_function_pools():
+    """Each function gets its own pool (pc-relative range discipline)."""
+    module = module_from_source(
+        """
+        _start:
+            bl f
+            bl g
+            add r0, r0, r1
+            swi #2
+            mov r0, #0
+            swi #0
+        f:
+            ldr r0, =11111
+            mov pc, lr
+        g:
+            ldr r1, =11111
+            mov pc, lr
+        """
+    )
+    image = layout(module)
+    assert image.text.count(11111) == 2  # one slot per function
+    assert run_image(image).output_text == "22222"
+
+
+def test_function_pointer_table_survives_roundtrip():
+    module = module_from_source(
+        """
+        _start:
+            ldr r0, =table
+            ldr r1, [r0]
+            bx r1
+        handler:
+            mov r0, #5
+            swi #2
+            mov r0, #0
+            swi #0
+        .data
+        table: .word handler
+        """
+    )
+    image = layout(module)
+    assert run_image(image).output_text == "5"
+    recovered = load_image(image)
+    # the loader spotted the code address inside data
+    assert any(f.pa_exempt for f in recovered.functions)
+    assert run_image(layout(recovered)).output_text == "5"
+
+
+def test_truly_undecodable_unreferenced_word_rejected():
+    image = layout(module_from_source("_start:\n swi #0\n"))
+    image.text.append(0xFFFFFFFF)  # junk beyond the program
+    with pytest.raises(LoaderError):
+        load_image(image)

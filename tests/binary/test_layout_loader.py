@@ -1,0 +1,131 @@
+"""Layout (link) and loader (decompile): the binary <-> program loop."""
+
+import pytest
+
+from repro.binary.image import DATA_BASE, TEXT_BASE, Image
+from repro.binary.layout import LayoutError, layout
+from repro.binary.loader import LoaderError, load_image
+from repro.sim.machine import run_image
+
+from tests.conftest import module_from_source
+
+PROGRAM = """
+.text
+.global _start
+_start:
+    bl main
+    swi #0
+main:
+    push {r4, lr}
+    ldr r4, =numbers
+    mov r0, #0
+    mov r1, #0
+loop:
+    cmp r1, #5
+    bge done
+    add r3, r4, r1, lsl #2
+    ldr r2, [r3]
+    add r0, r0, r2
+    add r1, r1, #1
+    b loop
+done:
+    ldr r2, =1000000
+    add r0, r0, r2
+    pop {r4, pc}
+.data
+numbers:
+    .word 10, 20, 30, 40, 50
+"""
+
+
+@pytest.fixture
+def image():
+    return layout(module_from_source(PROGRAM))
+
+
+class TestLayout:
+    def test_entry_and_bases(self, image):
+        assert image.entry == TEXT_BASE
+        assert image.data_base == DATA_BASE
+
+    def test_data_contents(self, image):
+        assert image.data == [10, 20, 30, 40, 50]
+
+    def test_literal_pool_holds_data_address_and_constant(self, image):
+        assert DATA_BASE in image.text        # address of `numbers`
+        assert 1000000 in image.text          # raw constant literal
+
+    def test_symbols(self, image):
+        assert image.symbols["_start"] == TEXT_BASE
+        assert "main" in image.symbols
+        assert image.symbols["numbers"] == DATA_BASE
+
+    def test_runs_correctly(self, image):
+        result = run_image(image)
+        # exit code is the low byte of 1000150
+        assert result.exit_code == 1000150 % 256
+
+    def test_undefined_label_rejected(self):
+        module = module_from_source("_start:\n b nowhere\n")
+        with pytest.raises(LayoutError):
+            layout(module)
+
+    def test_fallthrough_into_pool_rejected(self):
+        module = module_from_source(
+            """
+            _start:
+                ldr r0, =tab
+            .data
+            tab: .word 1
+            """
+        )
+        with pytest.raises(LayoutError):
+            layout(module)
+
+
+class TestLoader:
+    def test_roundtrip_behaviour(self, image):
+        module = load_image(image)
+        result = run_image(layout(module))
+        assert result.exit_code == run_image(image).exit_code
+
+    def test_roundtrip_reaches_fixpoint(self, image):
+        once = layout(load_image(image))
+        twice = layout(load_image(once))
+        assert once.text == twice.text
+        assert once.data == twice.data
+
+    def test_pool_words_not_decoded_as_code(self, image):
+        module = load_image(image)
+        # the constant 1000000 must not appear as an instruction
+        for func in module.functions:
+            for insn in func.iter_instructions():
+                assert "1000000" not in str(insn) or str(insn).startswith(
+                    "ldr"
+                )
+
+    def test_symbol_names_recovered(self, image):
+        module = load_image(image)
+        names = [f.name for f in module.functions]
+        assert names == ["_start", "main"]
+
+    def test_loader_without_symbols(self, image):
+        image.symbols = {}
+        module = load_image(image)
+        assert len(module.functions) == 2
+        result = run_image(layout(module))
+        assert result.exit_code == 1000150 % 256
+
+    def test_instruction_counts_preserved(self, image):
+        module = load_image(image)
+        assert module.num_instructions == 16
+
+    def test_truncated_image_rejected(self, image):
+        # chop the image mid-function: branch targets fall outside
+        broken = Image(
+            text=image.text[:2],
+            data=image.data,
+            entry=image.entry,
+        )
+        with pytest.raises(LoaderError):
+            load_image(broken)

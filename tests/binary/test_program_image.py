@@ -1,0 +1,105 @@
+"""Module/BasicBlock model and the Image container."""
+
+import pytest
+
+from repro.binary.image import DATA_BASE, TEXT_BASE, Image
+from repro.binary.program import BasicBlock, Function, Module
+from repro.isa.assembler import parse_instruction, parse_program
+
+from tests.conftest import module_from_source
+
+
+class TestBasicBlock:
+    def test_terminator_detection(self):
+        block = BasicBlock(instructions=[parse_instruction("b away")])
+        assert block.terminator is not None
+        assert not block.falls_through
+
+    def test_conditional_branch_falls_through(self):
+        block = BasicBlock(instructions=[parse_instruction("beq away")])
+        assert block.terminator is None
+        assert block.falls_through
+
+    def test_empty_block_falls_through(self):
+        assert BasicBlock().falls_through
+
+    def test_len_and_iter(self):
+        block = BasicBlock(instructions=[
+            parse_instruction("mov r0, #1"),
+            parse_instruction("mov r1, #2"),
+        ])
+        assert len(block) == 2
+        assert [str(i) for i in block] == ["mov r0, #1", "mov r1, #2"]
+
+
+class TestModule:
+    def test_fresh_label_avoids_collisions(self):
+        module = module_from_source(
+            "_start:\n bl pa_0\n swi #0\npa_0:\n mov pc, lr\n"
+        )
+        name = module.fresh_label("pa")
+        assert name != "pa_0"
+        assert name not in module.defined_labels()
+
+    def test_function_lookup(self):
+        module = module_from_source("_start:\n bl f\n swi #0\nf:\n mov pc, lr\n")
+        assert module.function("f").name == "f"
+        with pytest.raises(KeyError):
+            module.function("ghost")
+
+    def test_to_asm_roundtrip_preserves_labels(self):
+        module = module_from_source(
+            """
+            _start:
+                cmp r0, #0
+                beq skip
+                mov r1, #1
+            skip:
+                swi #0
+            """
+        )
+        text = module.render()
+        assert "skip:" in text
+        again = parse_program(text)
+        assert "_start" in again.globals
+
+    def test_num_instructions_sums_functions(self):
+        module = module_from_source(
+            "_start:\n bl f\n swi #0\nf:\n mov r0, #0\n mov pc, lr\n"
+        )
+        assert module.num_instructions == 4
+
+
+class TestImage:
+    def test_word_access(self):
+        image = Image(text=[1, 2, 3], data=[9])
+        assert image.word_at(TEXT_BASE + 4) == 2
+        assert image.word_at(DATA_BASE) == 9
+
+    def test_bounds(self):
+        image = Image(text=[1], data=[])
+        with pytest.raises(ValueError):
+            image.word_at(TEXT_BASE + 4)
+        with pytest.raises(ValueError):
+            image.word_at(TEXT_BASE + 1)  # unaligned
+
+    def test_section_predicates(self):
+        image = Image(text=[1, 2], data=[3])
+        assert image.in_text(TEXT_BASE)
+        assert not image.in_text(TEXT_BASE + 8)
+        assert image.in_data(DATA_BASE)
+        assert not image.in_data(DATA_BASE + 4)
+
+    def test_word_range_validated(self):
+        with pytest.raises(ValueError):
+            Image(text=[1 << 33], data=[])
+
+    def test_text_must_fit_below_data(self):
+        huge = [0] * (((DATA_BASE - TEXT_BASE) // 4) + 1)
+        with pytest.raises(ValueError):
+            Image(text=huge, data=[])
+
+    def test_symbol_lookup(self):
+        image = Image(text=[0], data=[], symbols={"f": TEXT_BASE})
+        assert image.symbol_at(TEXT_BASE) == "f"
+        assert image.symbol_at(TEXT_BASE + 4) is None

@@ -1,0 +1,132 @@
+"""DFG construction: dependence kinds, program-order invariant."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binary.program import BasicBlock
+from repro.dfg.builder import build_dfg
+from repro.dfg.graph import FLOW_KINDS
+from repro.isa.assembler import parse_instruction
+
+
+def block(*texts):
+    return BasicBlock(instructions=[parse_instruction(t) for t in texts])
+
+
+def kinds_between(dfg, src, dst):
+    return {k for (s, d, k) in dfg.dep_edges if (s, d) == (src, dst)}
+
+
+class TestRegisterDependencies:
+    def test_raw(self):
+        dfg = build_dfg(block("mov r0, #1", "add r1, r0, #2"))
+        assert ("d" in kinds_between(dfg, 0, 1))
+
+    def test_war(self):
+        dfg = build_dfg(block("add r1, r0, #2", "mov r0, #1"))
+        assert kinds_between(dfg, 0, 1) == {"a"}
+
+    def test_waw(self):
+        dfg = build_dfg(block("mov r0, #1", "mov r0, #2"))
+        assert kinds_between(dfg, 0, 1) == {"o"}
+
+    def test_waw_skipped_with_intervening_reader(self):
+        dfg = build_dfg(
+            block("mov r0, #1", "add r1, r0, #0", "mov r0, #2")
+        )
+        # transitivity: 0 -d-> 1 -a-> 2; no direct o edge needed
+        assert kinds_between(dfg, 0, 2) == set()
+        assert "d" in kinds_between(dfg, 0, 1)
+        assert "a" in kinds_between(dfg, 1, 2)
+
+    def test_raw_killed_by_intermediate_write(self):
+        dfg = build_dfg(block("mov r0, #1", "mov r0, #2", "add r1, r0, #0"))
+        assert kinds_between(dfg, 0, 2) == set()
+        assert "d" in kinds_between(dfg, 1, 2)
+
+    def test_writeback_chains_loads(self):
+        dfg = build_dfg(block("ldr r3, [r1], #4", "ldr r2, [r1], #4"))
+        assert "d" in kinds_between(dfg, 0, 1)
+
+
+class TestFlagDependencies:
+    def test_cmp_to_conditional(self):
+        dfg = build_dfg(block("cmp r0, #0", "moveq r1, #1"))
+        assert "f" in kinds_between(dfg, 0, 1)
+
+    def test_flag_anti_dependence(self):
+        dfg = build_dfg(block("cmp r0, #0", "beq out", "cmp r1, #0"))
+        assert "a" in kinds_between(dfg, 1, 2)
+
+    def test_carry_reader(self):
+        dfg = build_dfg(block("adds r0, r0, r1", "adc r2, r2, r3"))
+        assert "f" in kinds_between(dfg, 0, 1)
+
+
+class TestMemoryDependencies:
+    def test_store_load(self):
+        dfg = build_dfg(block("str r0, [r1]", "ldr r2, [r3]"))
+        assert "m" in kinds_between(dfg, 0, 1)
+
+    def test_load_load_unordered(self):
+        dfg = build_dfg(block("ldr r0, [r1]", "ldr r2, [r3]"))
+        assert kinds_between(dfg, 0, 1) == set()
+
+    def test_load_store_anti(self):
+        dfg = build_dfg(block("ldr r0, [r1]", "str r2, [r3]"))
+        assert "a" in kinds_between(dfg, 0, 1)
+
+    def test_call_is_memory_barrier(self):
+        dfg = build_dfg(block("str r0, [r1]", "bl foo", "ldr r2, [r3]"))
+        assert "m" in kinds_between(dfg, 0, 1)
+        assert "m" in kinds_between(dfg, 1, 2)
+
+    def test_pseudo_load_not_memory(self):
+        dfg = build_dfg(block("str r0, [r1]", "ldr r2, =table"))
+        assert kinds_between(dfg, 0, 1) == set()
+
+
+class TestInvariants:
+    def test_mined_subset_of_dep(self):
+        dfg = build_dfg(
+            block("mov r0, #1", "adds r1, r0, #2", "moveq r2, #3",
+                  "str r2, [r1]"),
+            mined_kinds=FLOW_KINDS,
+        )
+        assert dfg.edges <= dfg.dep_edges
+        assert all(k in FLOW_KINDS for (__, ___, k) in dfg.edges)
+
+    def test_edges_respect_program_order(self):
+        dfg = build_dfg(
+            block("ldr r0, [r1], #4", "mul r2, r0, r0", "str r2, [r1]")
+        )
+        assert all(s < d for (s, d, __) in dfg.dep_edges)
+
+    def test_labels_are_instruction_texts(self):
+        texts = ("mov r0, #1", "add r1, r0, #2")
+        dfg = build_dfg(block(*texts))
+        assert dfg.labels == list(texts)
+
+
+# property: dependence edges always acyclic + forward on random blocks
+_random_insns = st.lists(
+    st.sampled_from(
+        [
+            "mov r0, #1", "mov r1, #2", "add r0, r0, r1",
+            "adds r2, r0, #3", "moveq r3, #4", "cmp r0, r1",
+            "ldr r4, [r0]", "str r4, [r1]", "ldr r5, [r2], #4",
+            "mul r6, r0, r1", "push {r4}", "pop {r4}", "bl foo",
+            "eor r7, r0, r1", "mvn r8, r0",
+        ]
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(_random_insns)
+@settings(max_examples=150)
+def test_random_blocks_forward_edges(texts):
+    dfg = build_dfg(block(*texts))
+    assert all(0 <= s < d < dfg.num_nodes for (s, d, __) in dfg.dep_edges)
+    assert dfg.edges <= dfg.dep_edges

@@ -1,0 +1,50 @@
+"""Binary <-> program round trips on full compiled workloads."""
+
+import pytest
+
+from repro.binary.layout import layout
+from repro.binary.loader import load_image
+from repro.sim.machine import run_image
+from repro.workloads import PROGRAMS, compile_workload
+
+
+@pytest.mark.parametrize("name", ["crc", "qsort", "sha"])
+def test_load_relayout_behaviour(name):
+    image = layout(compile_workload(name))
+    reference = run_image(image, max_steps=2_000_000)
+    module = load_image(image)
+    again = run_image(layout(module), max_steps=2_000_000)
+    assert again.output == reference.output
+    assert again.exit_code == reference.exit_code
+
+
+@pytest.mark.parametrize("name", ["bitcnts", "dijkstra"])
+def test_roundtrip_fixpoint(name):
+    image = layout(compile_workload(name))
+    once = layout(load_image(image))
+    twice = layout(load_image(once))
+    assert once.text == twice.text
+    assert once.data == twice.data
+
+
+def test_loader_recovers_without_symbols():
+    image = layout(compile_workload("search"))
+    reference = run_image(image, max_steps=2_000_000)
+    image.symbols = {}
+    module = load_image(image)
+    result = run_image(layout(module), max_steps=2_000_000)
+    assert result.output == reference.output
+
+
+def test_literal_pools_survive_rewriting():
+    image = layout(compile_workload("crc"))
+    module = load_image(image)
+    pools = [
+        str(insn)
+        for func in module.functions
+        for insn in func.iter_instructions()
+        if str(insn).startswith("ldr") and "=" in str(insn)
+    ]
+    # crc uses big polynomial constants and global addresses
+    assert any("=" in p for p in pools)
+    assert len(pools) > 10

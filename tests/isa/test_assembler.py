@@ -1,0 +1,152 @@
+"""Assembler: text parsing, directives, program round-trips."""
+
+import pytest
+
+from repro.isa.assembler import (
+    AssemblerError,
+    DataSpace,
+    DataWord,
+    Label,
+    parse_instruction,
+    parse_program,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, LabelRef, Mem, Reg, RegList, ShiftedReg
+
+
+class TestInstructionParsing:
+    def test_mnemonic_suffix_disambiguation(self):
+        # "bls" is b + ls (s is invalid on branches)
+        insn = parse_instruction("bls somewhere")
+        assert insn.mnemonic == "b" and insn.cond == "ls"
+
+    def test_ldrb_not_ldr_plus_b(self):
+        insn = parse_instruction("ldrb r0, [r1]")
+        assert insn.mnemonic == "ldrb"
+
+    def test_bics(self):
+        insn = parse_instruction("bics r0, r1, r2")
+        assert insn.mnemonic == "bic" and insn.set_flags
+
+    def test_mullt(self):
+        insn = parse_instruction("mullt r0, r1, r2")
+        assert insn.mnemonic == "mul" and insn.cond == "lt"
+
+    def test_negative_immediate(self):
+        insn = parse_instruction("ldr r0, [r1, #-8]")
+        assert insn.operands[1].offset == -8
+
+    def test_hex_immediate(self):
+        insn = parse_instruction("mov r0, #0xff")
+        assert insn.operands[1] == Imm(255)
+
+    def test_register_range_in_list(self):
+        insn = parse_instruction("push {r4-r7, lr}")
+        assert insn.operands[0] == RegList((4, 5, 6, 7, 14))
+
+    def test_memory_post_indexed(self):
+        insn = parse_instruction("ldr r0, [r1], #4")
+        mem = insn.operands[1]
+        assert not mem.pre and mem.writeback and mem.offset == 4
+
+    def test_memory_pre_writeback(self):
+        insn = parse_instruction("ldr r0, [r1, #4]!")
+        mem = insn.operands[1]
+        assert mem.pre and mem.writeback
+
+    def test_register_offset(self):
+        insn = parse_instruction("ldr r0, [r1, r2]")
+        assert insn.operands[1].index == 2
+
+    def test_scaled_offset_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_instruction("ldr r0, [r1, r2, lsl #2]")
+
+    def test_shifted_register_operand(self):
+        insn = parse_instruction("add r0, r1, r2, lsl #2")
+        assert insn.operands[2] == ShiftedReg(2, "lsl", 2)
+
+    def test_pseudo_load(self):
+        insn = parse_instruction("ldr r0, =mytable")
+        assert insn.operands[1] == LabelRef("mytable")
+
+    def test_numeric_pseudo_load(self):
+        insn = parse_instruction("ldr r0, =305419896")
+        assert insn.operands[1] == LabelRef("305419896")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_instruction("xyzzy r0")
+        with pytest.raises(AssemblerError):
+            parse_instruction("add r0")
+        with pytest.raises(AssemblerError):
+            parse_instruction("mov")
+
+
+class TestProgramParsing:
+    def test_sections_and_directives(self):
+        module = parse_program(
+            """
+            .text
+            .global _start
+            _start:
+                mov r0, #0
+                swi #0
+            .data
+            table: .word 1, 2, 3
+            buffer: .space 8
+            """
+        )
+        assert module.globals == {"_start"}
+        assert module.text[0] == Label("_start")
+        assert isinstance(module.text[1], Instruction)
+        assert module.data == [
+            Label("table"), DataWord(1), DataWord(2), DataWord(3),
+            Label("buffer"), DataSpace(2),
+        ]
+
+    def test_comments_stripped(self):
+        module = parse_program("mov r0, #1 @ set it\nmov r1, #2 ; also\n")
+        assert len(module.text) == 2
+
+    def test_label_followed_by_instruction_same_line(self):
+        module = parse_program("loop: add r0, r0, #1")
+        assert module.text == [
+            Label("loop"),
+            parse_instruction("add r0, r0, #1"),
+        ]
+
+    def test_word_with_label_value(self):
+        module = parse_program(".data\nptr: .word handler")
+        assert module.data[1] == DataWord(LabelRef("handler"))
+
+    def test_unaligned_space_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_program(".data\nb: .space 6")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_program(".bogus 3")
+
+    def test_render_reparse_identity(self):
+        source = """
+        .text
+        .global _start
+        _start:
+            push {r4, lr}
+            ldr r0, =tab
+            bl helper
+            cmp r0, #10
+            bge done
+        done:
+            pop {r4, pc}
+        helper:
+            mov pc, lr
+        .data
+        tab: .word 5, 6
+        """
+        module = parse_program(source)
+        again = parse_program(module.render())
+        assert again.text == module.text
+        assert again.data == module.data
+        assert again.globals == module.globals

@@ -1,0 +1,218 @@
+"""Encoder/decoder: exact encodings and property-based round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.decoder import DecodingError, decode, target_label
+from repro.isa.encoder import EncodingError, encodable_imm, encode, encode_rotated_imm
+from repro.isa.instructions import CONDITIONS, Instruction
+from repro.isa.operands import Imm, LabelRef, Mem, Reg, RegList, ShiftedReg
+from repro.isa.registers import SP
+
+
+class TestImmediates:
+    def test_small_values_encodable(self):
+        for value in range(256):
+            assert encodable_imm(value)
+
+    def test_rotated_values(self):
+        assert encodable_imm(0x80000000)
+        assert encodable_imm(0x3FC00)
+        assert encodable_imm(0xFF000000)
+
+    def test_unencodable(self):
+        assert not encodable_imm(0x101)
+        assert not encodable_imm(0x12345678)
+        assert not encodable_imm(0xFFFFFFFE)
+
+    def test_field_decodes_back(self):
+        field = encode_rotated_imm(0x3FC00)
+        rot = (field >> 8) & 0xF
+        imm8 = field & 0xFF
+        value = ((imm8 >> (2 * rot)) | (imm8 << (32 - 2 * rot))) & 0xFFFFFFFF
+        assert value == 0x3FC00
+
+
+class TestExactEncodings:
+    def test_mov_imm(self):
+        # mov r0, #0 == 0xE3A00000
+        word = encode(Instruction("mov", (Reg(0), Imm(0))))
+        assert word == 0xE3A00000
+
+    def test_add_registers(self):
+        # add r0, r1, r2 == 0xE0810002
+        word = encode(Instruction("add", (Reg(0), Reg(1), Reg(2))))
+        assert word == 0xE0810002
+
+    def test_bx_lr(self):
+        word = encode(Instruction("bx", (Reg(14),)))
+        assert word == 0xE12FFF1E
+
+    def test_swi(self):
+        word = encode(Instruction("swi", (Imm(1),)))
+        assert word == 0xEF000001
+
+    def test_branch_offset(self):
+        word = encode(Instruction("b", (LabelRef("x"),)),
+                      branch_offset_words=-2)
+        assert word & 0xFFFFFF == 0xFFFFFE
+
+    def test_branch_without_offset_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("b", (LabelRef("x"),)))
+
+    def test_unresolved_pseudo_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("ldr", (Reg(0), LabelRef("x"))))
+
+    def test_branch_offset_range_checked(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("b", (LabelRef("x"),)),
+                   branch_offset_words=1 << 23)
+
+
+class TestDecoding:
+    def test_branch_target_symbolized(self):
+        word = encode(Instruction("bl", (LabelRef("f"),)),
+                      branch_offset_words=4)
+        insn = decode(word, addr=0x8000)
+        assert insn.operands[0] == LabelRef(target_label(0x8000 + 8 + 16))
+
+    def test_data_word_often_rejected(self):
+        with pytest.raises(DecodingError):
+            decode(0xFFFFFFFF)
+
+    def test_unconditional_space_rejected(self):
+        with pytest.raises(DecodingError):
+            decode(0xF0000000)
+
+    def test_mul_nonzero_rn_rejected(self):
+        # a mul pattern with a dirty Rn field is not a valid encoding
+        word = encode(Instruction("mul", (Reg(0), Reg(1), Reg(2))))
+        with pytest.raises(DecodingError):
+            decode(word | (5 << 12))
+
+
+# ----------------------------------------------------------------------
+# property-based round trip over the full supported instruction space
+# ----------------------------------------------------------------------
+regs = st.integers(0, 15).map(Reg)
+low_regs = st.integers(0, 14).map(Reg)
+conds = st.sampled_from(CONDITIONS)
+rotated_imms = st.builds(
+    lambda imm8, rot: ((imm8 >> (2 * rot)) | (imm8 << (32 - 2 * rot)))
+    & 0xFFFFFFFF,
+    st.integers(0, 255),
+    st.integers(0, 15),
+).map(Imm)
+shifted = st.builds(
+    ShiftedReg,
+    st.integers(0, 15),
+    st.sampled_from(("lsl", "lsr", "asr", "ror")),
+    st.integers(1, 31),
+)
+flex = st.one_of(regs, rotated_imms, shifted)
+
+
+@st.composite
+def dataproc(draw):
+    mnemonic = draw(st.sampled_from(
+        ("and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+         "orr", "bic")
+    ))
+    return Instruction(
+        mnemonic,
+        (draw(regs), draw(regs), draw(flex)),
+        cond=draw(conds),
+        set_flags=draw(st.booleans()),
+    )
+
+
+@st.composite
+def moves(draw):
+    return Instruction(
+        draw(st.sampled_from(("mov", "mvn"))),
+        (draw(regs), draw(flex)),
+        cond=draw(conds),
+        set_flags=draw(st.booleans()),
+    )
+
+
+@st.composite
+def compares(draw):
+    return Instruction(
+        draw(st.sampled_from(("cmp", "cmn", "tst", "teq"))),
+        (draw(regs), draw(flex)),
+        cond=draw(conds),
+    )
+
+
+@st.composite
+def memory(draw):
+    mnemonic = draw(st.sampled_from(("ldr", "str", "ldrb", "strb")))
+    if draw(st.booleans()):
+        mem = Mem(
+            draw(st.integers(0, 15)),
+            draw(st.integers(-4095, 4095)),
+            pre=draw(st.booleans()),
+            writeback=draw(st.booleans()),
+        )
+    else:
+        mem = Mem(
+            draw(st.integers(0, 15)), 0,
+            index=draw(st.integers(0, 15)),
+            pre=draw(st.booleans()),
+        )
+    return Instruction(mnemonic, (draw(regs), mem), cond=draw(conds))
+
+
+@st.composite
+def multiplies(draw):
+    if draw(st.booleans()):
+        ops = (draw(regs), draw(regs), draw(regs))
+        return Instruction("mul", ops, cond=draw(conds),
+                           set_flags=draw(st.booleans()))
+    ops = (draw(regs), draw(regs), draw(regs), draw(regs))
+    return Instruction("mla", ops, cond=draw(conds),
+                       set_flags=draw(st.booleans()))
+
+
+@st.composite
+def block_transfers(draw):
+    mnemonic = draw(st.sampled_from(("push", "pop")))
+    regs_list = draw(
+        st.lists(st.integers(0, 15), min_size=1, max_size=8, unique=True)
+    )
+    return Instruction(mnemonic, (RegList(tuple(regs_list)),),
+                       cond=draw(conds))
+
+
+@st.composite
+def others(draw):
+    which = draw(st.integers(0, 1))
+    if which == 0:
+        return Instruction("bx", (draw(regs),), cond=draw(conds))
+    return Instruction("swi", (Imm(draw(st.integers(0, (1 << 24) - 1))),),
+                       cond=draw(conds))
+
+
+instructions = st.one_of(
+    dataproc(), moves(), compares(), memory(), multiplies(),
+    block_transfers(), others(),
+)
+
+
+@given(instructions)
+@settings(max_examples=400)
+def test_encode_decode_roundtrip(insn):
+    word = encode(insn)
+    assert decode(word) == insn
+
+
+@given(instructions)
+@settings(max_examples=200)
+def test_text_roundtrip(insn):
+    from repro.isa.assembler import parse_instruction
+
+    assert parse_instruction(str(insn)) == insn

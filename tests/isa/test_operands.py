@@ -1,0 +1,83 @@
+"""Operand value objects."""
+
+import pytest
+
+from repro.isa.operands import Imm, LabelRef, Mem, Reg, RegList, ShiftedReg
+
+
+class TestReg:
+    def test_str(self):
+        assert str(Reg(0)) == "r0"
+        assert str(Reg(13)) == "sp"
+
+    def test_equality(self):
+        assert Reg(3) == Reg(3)
+        assert Reg(3) != Reg(4)
+
+    def test_hashable(self):
+        assert len({Reg(1), Reg(1), Reg(2)}) == 2
+
+
+class TestImm:
+    def test_str(self):
+        assert str(Imm(42)) == "#42"
+        assert str(Imm(-1)) == "#-1"
+
+
+class TestShiftedReg:
+    def test_str(self):
+        assert str(ShiftedReg(2, "lsl", 4)) == "r2, lsl #4"
+
+    def test_bad_shift_op(self):
+        with pytest.raises(ValueError):
+            ShiftedReg(2, "rot", 4)
+
+    def test_bad_amount(self):
+        with pytest.raises(ValueError):
+            ShiftedReg(2, "lsl", 32)
+        with pytest.raises(ValueError):
+            ShiftedReg(2, "lsl", -1)
+
+
+class TestMem:
+    def test_plain(self):
+        assert str(Mem(1)) == "[r1]"
+
+    def test_offset(self):
+        assert str(Mem(1, 8)) == "[r1, #8]"
+        assert str(Mem(1, -8)) == "[r1, #-8]"
+
+    def test_pre_writeback(self):
+        assert str(Mem(1, 8, writeback=True)) == "[r1, #8]!"
+
+    def test_post_indexed_always_writes_back(self):
+        mem = Mem(1, 4, pre=False)
+        assert mem.writeback
+        assert str(mem) == "[r1], #4"
+
+    def test_register_offset(self):
+        assert str(Mem(1, index=2)) == "[r1, r2]"
+
+    def test_zero_offset_writeback_prints_offset(self):
+        assert str(Mem(1, 0, writeback=True)) == "[r1, #0]!"
+
+
+class TestRegList:
+    def test_sorted_and_deduped(self):
+        assert RegList((5, 4, 5)).regs == (4, 5)
+
+    def test_str(self):
+        assert str(RegList((4, 14))) == "{r4, lr}"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RegList(())
+
+
+class TestLabelRef:
+    def test_str(self):
+        assert str(LabelRef("loop")) == "loop"
+
+    def test_equality(self):
+        assert LabelRef("a") == LabelRef("a")
+        assert LabelRef("a") != LabelRef("b")

@@ -1,0 +1,59 @@
+"""Register naming and parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP, LR, NUM_REGS, PC, SP, is_reg_name, reg_name, reg_num,
+)
+
+
+def test_plain_register_names():
+    assert reg_name(0) == "r0"
+    assert reg_name(7) == "r7"
+    assert reg_name(12) == "r12"
+
+
+def test_alias_names():
+    assert reg_name(SP) == "sp"
+    assert reg_name(LR) == "lr"
+    assert reg_name(PC) == "pc"
+    assert reg_name(FP) == "fp"
+
+
+def test_parse_plain():
+    for i in range(NUM_REGS):
+        assert reg_num(f"r{i}") == i
+
+
+def test_parse_aliases():
+    assert reg_num("sp") == 13
+    assert reg_num("lr") == 14
+    assert reg_num("pc") == 15
+    assert reg_num("fp") == 11
+
+
+def test_parse_case_insensitive():
+    assert reg_num("R3") == 3
+    assert reg_num("SP") == 13
+
+
+def test_roundtrip_all_registers():
+    for i in range(NUM_REGS):
+        assert reg_num(reg_name(i)) == i
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        reg_name(16)
+    with pytest.raises(ValueError):
+        reg_num("r16")
+    with pytest.raises(ValueError):
+        reg_num("r-1")
+
+
+def test_not_a_register():
+    with pytest.raises(ValueError):
+        reg_num("foo")
+    assert not is_reg_name("foo")
+    assert is_reg_name("r5")
+    assert is_reg_name("lr")

@@ -1,0 +1,203 @@
+"""Code generation: execute compiled programs and check results."""
+
+import pytest
+
+from repro.minicc.driver import CompileError, compile_to_image, compile_to_module
+from repro.sim.machine import run_image
+
+
+def run_main(body: str, prelude: str = "", schedule: bool = True):
+    source = f"{prelude}\nint main() {{ {body} }}\n"
+    return run_image(compile_to_image(source, schedule=schedule))
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("10 - 3 - 2", 5),
+            ("7 & 3", 3),
+            ("4 | 1", 5),
+            ("5 ^ 1", 4),
+            ("1 << 5", 32),
+            ("64 >> 3", 8),
+            ("~0 & 255", 255),
+            ("-5 + 10", 5),
+            ("!0", 1),
+            ("!7", 0),
+            ("3 < 4", 1),
+            ("4 <= 4", 1),
+            ("5 > 6", 0),
+            ("5 >= 6", 0),
+            ("5 == 5", 1),
+            ("5 != 5", 0),
+            ("1 && 2", 1),
+            ("1 && 0", 0),
+            ("0 || 3", 1),
+            ("0 || 0", 0),
+            ("100 / 7", 14),
+            ("100 % 7", 2),
+            ("-100 / 7", -14 % 256),
+            ("0x7fffffff + 1 < 0", 1),  # wraps to INT_MIN
+        ],
+    )
+    def test_expression_value(self, expr, expected):
+        result = run_main(f"return {expr};")
+        assert result.exit_code == expected % 256
+
+    def test_division_by_zero_defined(self):
+        assert run_main("return 5 / 0;").exit_code == 0
+        assert run_main("return 5 % 0;").exit_code == 0
+
+    def test_logical_shift_right(self):
+        # >> is logical: sign bit does not smear
+        result = run_main("return (0 - 1) >> 28;")
+        assert result.exit_code == 15
+
+    def test_variable_shifts(self):
+        result = run_main(
+            "int n = 3; int x = 5; return (x << n) | (x >> n);"
+        )
+        assert result.exit_code == 40
+
+    def test_large_constant_via_pool(self):
+        result = run_main("print_int(305419896); return 0;")
+        assert result.output_text == "305419896"
+
+    def test_deep_expression_rejected_cleanly(self):
+        deep = "(((1+2)*(3+4))+((5+6)*(7+8)))*(((1+2)*(3+4))+((5+6)*(7+8)))"
+        try:
+            run_main(f"return {deep} & 255;")
+        except CompileError as exc:
+            assert "scratch" in str(exc)
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        body = "int x = 5; if (x > 3) { return 1; } else { return 2; }"
+        assert run_main(body).exit_code == 1
+
+    def test_while_loop(self):
+        body = "int i = 0; int s = 0; while (i < 10) { s = s + i; i = i + 1; } return s;"
+        assert run_main(body).exit_code == 45
+
+    def test_for_loop(self):
+        body = "int s = 0; int i; for (i = 1; i <= 5; i = i + 1) { s = s + i; } return s;"
+        assert run_main(body).exit_code == 15
+
+    def test_break_continue(self):
+        body = (
+            "int s = 0; int i; for (i = 0; i < 10; i = i + 1) {"
+            " if (i == 3) { continue; }"
+            " if (i == 6) { break; }"
+            " s = s + i; } return s;"
+        )
+        assert run_main(body).exit_code == 0 + 1 + 2 + 4 + 5
+
+    def test_call_in_loop_condition(self):
+        prelude = "int dec(int x) { return x - 1; }"
+        body = (
+            "int n = 5; int c = 0;"
+            " while (dec(n) > 0) { n = n - 1; c = c + 1; } return c;"
+        )
+        assert run_main(body, prelude).exit_code == 4
+
+    def test_nested_loops(self):
+        body = (
+            "int s = 0; int i; int j;"
+            " for (i = 0; i < 4; i = i + 1) {"
+            "   for (j = 0; j < 4; j = j + 1) { s = s + 1; } }"
+            " return s;"
+        )
+        assert run_main(body).exit_code == 16
+
+
+class TestFunctionsAndData:
+    def test_recursion(self):
+        prelude = (
+            "int fib(int n) { if (n < 2) { return n; }"
+            " return fib(n - 1) + fib(n - 2); }"
+        )
+        assert run_main("return fib(10);", prelude).exit_code == 55
+
+    def test_four_arguments(self):
+        prelude = "int f(int a, int b, int c, int d) { return a*1000 + b*100 + c*10 + d; }"
+        result = run_main("print_int(f(1, 2, 3, 4)); return 0;", prelude)
+        assert result.output_text == "1234"
+
+    def test_globals_persist(self):
+        prelude = "int counter; int bump() { counter = counter + 1; return counter; }"
+        body = "bump(); bump(); bump(); return counter;"
+        assert run_main(body, prelude).exit_code == 3
+
+    def test_array_read_write(self):
+        prelude = "int t[10];"
+        body = (
+            "int i; for (i = 0; i < 10; i = i + 1) { t[i] = i * i; }"
+            " return t[7];"
+        )
+        assert run_main(body, prelude).exit_code == 49
+
+    def test_array_initializer(self):
+        prelude = "int t[4] = {9, 8, 7};"
+        assert run_main("return t[0] + t[2] + t[3];", prelude).exit_code == 16
+
+    def test_many_locals_spill_to_stack(self):
+        body = (
+            "int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;"
+            " int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;"
+            " return a + b + c + d + e + f + g + h + i + j;"
+        )
+        assert run_main(body).exit_code == 55
+
+    def test_stack_locals_in_loop(self):
+        # regression: duplicate names in sibling scopes share one slot
+        body = (
+            "int a1=1; int a2=1; int a3=1; int a4=1; int a5=1; int a6=1;"
+            " int total = 0; int i;"
+            " for (i = 0; i < 3; i = i + 1) { int f = i + a6; total = total + f; }"
+            " for (i = 0; i < 3; i = i + 1) { int f = i * 2; total = total + f; }"
+            " return total;"
+        )
+        assert run_main(body).exit_code == (1 + 2 + 3) + (0 + 2 + 4)
+
+    def test_string_literal_and_puts(self):
+        result = run_main('puts_w("ok!"); return 0;')
+        assert result.output_text == "ok!"
+
+    def test_exit_intrinsic(self):
+        result = run_main("exit(9); return 1;")
+        assert result.exit_code == 9
+
+    def test_mem_intrinsics_via_runtime(self):
+        prelude = "int src[3] = {5, 6, 7}; int dst[3];"
+        body = "memcpy_w(dst, src, 3); return dst[2];"
+        assert run_main(body, prelude).exit_code == 7
+
+
+class TestSchedulerEquivalence:
+    SOURCE = """
+    int t[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+    int main() {
+        int s = 0;
+        int i;
+        for (i = 0; i < 8; i = i + 1) {
+            s = s + t[i] * (i + 1) + (s >> 3);
+        }
+        print_int(s);
+        return s & 127;
+    }
+    """
+
+    def test_scheduled_and_unscheduled_agree(self):
+        plain = run_image(compile_to_image(self.SOURCE, schedule=False))
+        scheduled = run_image(compile_to_image(self.SOURCE, schedule=True))
+        assert plain.output == scheduled.output
+        assert plain.exit_code == scheduled.exit_code
+
+    def test_scheduler_reorders_something(self):
+        plain = compile_to_module(self.SOURCE, schedule=False)
+        scheduled = compile_to_module(self.SOURCE, schedule=True)
+        assert plain.num_instructions == scheduled.num_instructions
+        assert plain.render() != scheduled.render()

@@ -1,0 +1,162 @@
+"""Code generation corner cases: call lowering, globals, bools."""
+
+import pytest
+
+from repro.minicc.driver import CompileError, compile_to_image
+from repro.sim.machine import run_image
+
+
+def run_src(source: str):
+    return run_image(compile_to_image(source))
+
+
+class TestCallLowering:
+    def test_nested_calls(self):
+        src = """
+        int inc(int x) { return x + 1; }
+        int main() { return inc(inc(inc(0))); }
+        """
+        assert run_src(src).exit_code == 3
+
+    def test_call_in_binop(self):
+        src = """
+        int two() { return 2; }
+        int main() { return two() * 3 + two(); }
+        """
+        assert run_src(src).exit_code == 8
+
+    def test_call_as_array_index(self):
+        src = """
+        int t[4] = {10, 20, 30, 40};
+        int pick() { return 2; }
+        int main() { return t[pick()]; }
+        """
+        assert run_src(src).exit_code == 30
+
+    def test_call_result_stored_to_array(self):
+        src = """
+        int t[4];
+        int val() { return 9; }
+        int main() { t[1] = val(); return t[1]; }
+        """
+        assert run_src(src).exit_code == 9
+
+    def test_call_result_stored_to_global(self):
+        src = """
+        int g;
+        int val() { return 5; }
+        int main() { g = val(); return g; }
+        """
+        assert run_src(src).exit_code == 5
+
+    def test_division_in_condition(self):
+        src = """
+        int main() {
+            int x = 10;
+            if (x / 3 == 3) { return 1; }
+            return 0;
+        }
+        """
+        assert run_src(src).exit_code == 1
+
+    def test_division_in_while_condition(self):
+        src = """
+        int main() {
+            int x = 100;
+            int n = 0;
+            while (x / 10 > 0) { x = x / 10; n = n + 1; }
+            return n;
+        }
+        """
+        assert run_src(src).exit_code == 2
+
+    def test_call_in_and_rejected_cleanly(self):
+        src = """
+        int one() { return 1; }
+        int main() { if (one() && 1) { return 1; } return 0; }
+        """
+        with pytest.raises(CompileError):
+            run_src(src)
+
+
+class TestBooleansAndConditions:
+    def test_comparison_as_value(self):
+        src = "int main() { int x = 5; int b = x > 3; return b; }"
+        assert run_src(src).exit_code == 1
+
+    def test_bool_value_of_and(self):
+        src = "int main() { int a = 1; int b = 0; return (a && b) + 2 * (a || b); }"
+        assert run_src(src).exit_code == 2
+
+    def test_not_of_comparison(self):
+        src = "int main() { return !(3 < 4); }"
+        assert run_src(src).exit_code == 0
+
+    def test_while_one_with_break(self):
+        src = """
+        int main() {
+            int n = 0;
+            while (1) { n = n + 1; if (n == 5) { break; } }
+            return n;
+        }
+        """
+        assert run_src(src).exit_code == 5
+
+    def test_empty_else_branch(self):
+        src = "int main() { if (0) { return 1; } else { } return 2; }"
+        assert run_src(src).exit_code == 2
+
+    def test_deeply_nested_ifs(self):
+        src = """
+        int main() {
+            int x = 10;
+            if (x > 0) { if (x > 5) { if (x > 9) { return 3; } return 2; } return 1; }
+            return 0;
+        }
+        """
+        assert run_src(src).exit_code == 3
+
+
+class TestGlobalsAndArrays:
+    def test_negative_initializer(self):
+        src = "int g = -5; int main() { return g + 10; }"
+        assert run_src(src).exit_code == 5
+
+    def test_array_zero_fill(self):
+        src = "int t[6] = {1}; int main() { return t[0] + t[5]; }"
+        assert run_src(src).exit_code == 1
+
+    def test_array_address_arithmetic_via_runtime(self):
+        src = """
+        int t[3] = {7, 8, 9};
+        int main() { return __mem_load(t + 8); }
+        """
+        assert run_src(src).exit_code == 9
+
+    def test_global_shadowed_by_param(self):
+        src = """
+        int x = 100;
+        int f(int x) { return x + 1; }
+        int main() { return f(1) + x; }
+        """
+        assert run_src(src).exit_code == 102
+
+    def test_function_returning_nothing_defaults_zero(self):
+        src = """
+        int noop(int x) { x = x + 1; }
+        int main() { return noop(5); }
+        """
+        assert run_src(src).exit_code == 0
+
+    def test_early_return_in_loop(self):
+        src = """
+        int find(int needle) {
+            int i;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i * i >= needle) { return i; }
+            }
+            return -1;
+        }
+        int main() { return find(26); }
+        """
+        assert run_src(src).exit_code == 6

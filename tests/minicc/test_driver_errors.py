@@ -1,0 +1,64 @@
+"""Compile driver: error propagation and the -S/-module/-image views."""
+
+import pytest
+
+from repro.binary.image import Image
+from repro.binary.program import Module
+from repro.minicc.driver import (
+    CompileError,
+    compile_to_asm,
+    compile_to_image,
+    compile_to_module,
+)
+
+
+def test_lexer_error_wrapped():
+    with pytest.raises(CompileError):
+        compile_to_asm("int main() { return `; }")
+
+
+def test_parser_error_wrapped():
+    with pytest.raises(CompileError):
+        compile_to_asm("int main() { return ; ")
+
+
+def test_sema_error_wrapped():
+    with pytest.raises(CompileError):
+        compile_to_asm("int main() { return ghost; }")
+
+
+def test_codegen_error_wrapped():
+    deep = "+".join(["(a*a)"] * 1)  # fine; build an actually deep one:
+    expr = "a"
+    for __ in range(8):
+        expr = f"({expr} * ({expr} + 1))"
+    with pytest.raises(CompileError):
+        compile_to_asm(f"int main() {{ int a = 2; return {expr}; }}")
+
+
+def test_asm_view_contains_runtime():
+    asm = compile_to_asm("int main() { return 1 / 1; }")
+    assert "__div:" in asm
+    assert "print_int:" in asm
+
+
+def test_asm_without_runtime():
+    asm = compile_to_asm("int main() { return 0; }", link_runtime=False)
+    assert "__div:" not in asm
+
+
+def test_module_and_image_views_agree():
+    source = "int main() { return 5; }"
+    module = compile_to_module(source)
+    image = compile_to_image(source)
+    assert isinstance(module, Module)
+    assert isinstance(image, Image)
+    from repro.binary.layout import layout
+
+    assert layout(module).text == image.text
+
+
+def test_missing_runtime_symbol_fails_without_linking():
+    with pytest.raises(CompileError):
+        compile_to_asm("int main() { return print_int(3); }",
+                       link_runtime=False)

@@ -1,0 +1,126 @@
+"""mini-C front end: tokens and syntax trees."""
+
+import pytest
+
+from repro.minicc import ast
+from repro.minicc.lexer import LexerError, tokenize
+from repro.minicc.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("0 42 0xff")
+        assert [t.value for t in tokens[:-1]] == [0, 42, 255]
+
+    def test_char_literals(self):
+        tokens = tokenize("'a' '\\n' '\\0'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 0]
+
+    def test_string_literal(self):
+        tokens = tokenize('"hi\\n"')
+        assert tokens[0].kind == "string" and tokens[0].value == "hi\n"
+
+    def test_keywords_vs_idents(self):
+        tokens = tokenize("int foo while whilex")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["keyword", "ident", "keyword", "ident"]
+
+    def test_operators_maximal_munch(self):
+        tokens = tokenize("a<<=b")  # "<<" then "="
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["a", "<<", "=", "b"]
+
+    def test_comments(self):
+        tokens = tokenize("a // line\n b /* block\n more */ c")
+        assert [t.value for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_errors(self):
+        with pytest.raises(LexerError):
+            tokenize("`")
+        with pytest.raises(LexerError):
+            tokenize('"unterminated')
+        with pytest.raises(LexerError):
+            tokenize("/* unterminated")
+
+
+class TestParser:
+    def test_global_scalar(self):
+        program = parse("int g; int main() { return 0; }")
+        assert program.globals[0] == ast.GlobalVar(name="g")
+
+    def test_global_array_with_init(self):
+        program = parse("int t[4] = {1, 2, -3}; int main() { return 0; }")
+        decl = program.globals[0]
+        assert decl.size == 4 and decl.is_array and decl.init == (1, 2, -3)
+
+    def test_too_many_initializers(self):
+        with pytest.raises(ParseError):
+            parse("int t[1] = {1, 2}; int main() { return 0; }")
+
+    def test_precedence(self):
+        program = parse("int main() { return 1 + 2 * 3; }")
+        expr = program.functions[0].body[0].value
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_comparison_binds_looser_than_shift(self):
+        program = parse("int main() { return 1 << 2 < 3; }")
+        expr = program.functions[0].body[0].value
+        assert expr.op == "<"
+
+    def test_unary(self):
+        program = parse("int main() { return -!~1; }")
+        expr = program.functions[0].body[0].value
+        assert (expr.op, expr.operand.op, expr.operand.operand.op) == (
+            "-", "!", "~"
+        )
+
+    def test_if_else_chain(self):
+        program = parse(
+            "int main() { if (1) { } else if (2) { } else { return 3; } }"
+        )
+        stmt = program.functions[0].body[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body[0], ast.If)
+
+    def test_for_loop_parts(self):
+        program = parse(
+            "int main() { int i; for (i = 0; i < 4; i = i + 1) { } }"
+        )
+        loop = program.functions[0].body[1]
+        assert isinstance(loop, ast.For)
+        assert loop.init is not None and loop.cond is not None
+        assert loop.step is not None
+
+    def test_for_loop_empty_parts(self):
+        program = parse("int main() { for (;;) { break; } }")
+        loop = program.functions[0].body[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_array_assignment(self):
+        program = parse("int a[2]; int main() { a[1] = 5; }")
+        stmt = program.functions[0].body[0]
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_call_args(self):
+        program = parse("int f(int a, int b) { return a; }"
+                        "int main() { return f(1, 2 + 3); }")
+        call = program.functions[1].body[0].value
+        assert isinstance(call, ast.Call) and len(call.args) == 2
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse("int main() { 3 = 4; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 0 }")
+
+    def test_while_single_statement_body(self):
+        program = parse("int main() { int i; while (i < 3) i = i + 1; }")
+        loop = program.functions[0].body[1]
+        assert isinstance(loop, ast.While) and len(loop.body) == 1

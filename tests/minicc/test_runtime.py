@@ -1,0 +1,118 @@
+"""The statically linked runtime (libmini): division, shifts, printing."""
+
+import pytest
+
+from repro.minicc.driver import compile_to_image
+from repro.sim.machine import run_image
+
+
+def run_expr(expr: str):
+    source = f"int main() {{ print_int({expr}); return 0; }}"
+    return run_image(compile_to_image(source)).output_text
+
+
+@pytest.mark.parametrize(
+    "a,b",
+    [
+        (100, 7), (7, 100), (0, 5), (1, 1), (1000000, 3), (81, 9),
+        (2147483647, 2), (12345, 123),
+    ],
+)
+def test_division_and_modulo(a, b):
+    assert run_expr(f"{a} / {b}") == str(a // b)
+    assert run_expr(f"{a} % {b}") == str(a % b)
+
+
+@pytest.mark.parametrize(
+    "a,b,expected",
+    [
+        (-100, 7, -14),   # C semantics: truncate toward zero
+        (100, -7, -14),
+        (-100, -7, 14),
+    ],
+)
+def test_signed_division_truncates(a, b, expected):
+    assert run_expr(f"({a}) / ({b})") == str(expected)
+
+
+def test_signed_modulo_sign_of_dividend():
+    assert run_expr("(-100) % 7") == "-2"
+    assert run_expr("100 % (-7)") == "2"
+
+
+def test_variable_shifts():
+    source = """
+    int main() {
+        int i;
+        for (i = 0; i < 8; i = i + 1) {
+            print_int(__shl(1, i));
+            putc(' ');
+        }
+        print_nl(0);
+        for (i = 0; i < 4; i = i + 1) {
+            print_int(__shr(128, i));
+            putc(' ');
+        }
+        return 0;
+    }
+    """
+    out = run_image(compile_to_image(source)).output_text
+    assert out == "1 2 4 8 16 32 64 128 \n128 64 32 16 "
+
+
+def test_print_int_edge_cases():
+    assert run_expr("0") == "0"
+    assert run_expr("-1") == "-1"
+    assert run_expr("2147483647") == "2147483647"
+
+
+def test_print_hex():
+    source = """
+    int main() {
+        print_hex(0);
+        print_nl(0);
+        print_hex(0xdeadbeef);
+        print_nl(0);
+        return 0;
+    }
+    """
+    out = run_image(compile_to_image(source)).output_text
+    assert out == "00000000\ndeadbeef\n"
+
+
+def test_memcpy_memset():
+    source = """
+    int a[4] = {1, 2, 3, 4};
+    int b[4];
+    int main() {
+        memcpy_w(b, a, 4);
+        memset_w(a, 9, 2);
+        print_int(b[0] + b[3]);
+        putc(' ');
+        print_int(a[0] + a[1] + a[2] + a[3]);
+        return 0;
+    }
+    """
+    out = run_image(compile_to_image(source)).output_text
+    assert out == "5 25"
+
+
+def test_abs_min_max():
+    source = """
+    int main() {
+        print_int(__abs(-7)); putc(' ');
+        print_int(__abs(7)); putc(' ');
+        print_int(__min(3, 9)); putc(' ');
+        print_int(__max(3, 9));
+        return 0;
+    }
+    """
+    out = run_image(compile_to_image(source)).output_text
+    assert out == "7 7 3 9"
+
+
+def test_puts_w_returns_length():
+    source = 'int main() { return puts_w("hello"); }'
+    result = run_image(compile_to_image(source))
+    assert result.output_text == "hello"
+    assert result.exit_code == 5

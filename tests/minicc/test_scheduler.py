@@ -1,0 +1,114 @@
+"""List scheduler: semantics preservation and reordering properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binary.program import BasicBlock
+from repro.dfg.builder import build_dfg
+from repro.dfg.linearize import is_valid_order
+from repro.isa.assembler import parse_instruction, parse_program
+from repro.minicc.scheduler import schedule_block, schedule_module
+
+
+def insns(*texts):
+    return [parse_instruction(t) for t in texts]
+
+
+def test_loads_hoisted_over_independent_computation():
+    block = insns(
+        "add r4, r4, #1",
+        "add r4, r4, #2",
+        "ldr r5, [r6]",
+    )
+    scheduled = schedule_block(block)
+    assert str(scheduled[0]) == "ldr r5, [r6]"
+
+
+def test_dependences_respected():
+    block = insns(
+        "ldr r5, [r6]",
+        "add r4, r5, #1",
+        "str r4, [r6]",
+    )
+    scheduled = schedule_block(block)
+    assert [str(i) for i in scheduled] == [str(i) for i in block]
+
+
+def test_terminator_stays_last():
+    block = insns("ldr r5, [r6]", "mov r0, #1", "b out")
+    scheduled = schedule_block(block)
+    assert str(scheduled[-1]) == "b out"
+
+
+def test_stores_sink():
+    block = insns(
+        "str r4, [r6]",
+        "add r5, r5, #1",
+        "add r7, r7, #1",
+    )
+    scheduled = schedule_block(block)
+    assert str(scheduled[-1]) == "str r4, [r6]"
+
+
+def test_tiny_blocks_untouched():
+    block = insns("mov r0, #1", "mov r1, #2")
+    assert schedule_block(block) == block
+
+
+def test_schedule_module_keeps_labels_and_counts():
+    module = parse_program(
+        """
+        _start:
+            mov r4, #0
+        loop:
+            ldr r5, [r4]
+            add r4, r4, #4
+            cmp r4, #32
+            blt loop
+            swi #0
+        """
+    )
+    scheduled = schedule_module(module)
+    assert len(scheduled.text) == len(module.text)
+    from repro.isa.assembler import Label
+
+    labels = [i.name for i in scheduled.text if isinstance(i, Label)]
+    assert labels == ["_start", "loop"]
+
+
+_random_insns = st.lists(
+    st.sampled_from(
+        [
+            "mov r0, #1", "add r0, r0, #1", "mov r1, r0", "ldr r2, [r1]",
+            "str r2, [r0]", "mul r3, r1, r2", "cmp r3, #3",
+            "movlt r4, #9", "eor r0, r0, r1", "bl callee",
+            "ldr r5, [r0], #4",
+        ]
+    ),
+    min_size=3,
+    max_size=14,
+)
+
+
+@given(_random_insns)
+@settings(max_examples=120)
+def test_schedule_is_always_a_valid_reordering(texts):
+    block = insns(*texts)
+    scheduled = schedule_block(block)
+    assert sorted(map(str, scheduled)) == sorted(texts)
+    dfg = build_dfg(BasicBlock(instructions=block))
+    order = [block.index(i) for i in scheduled]
+    # resolve duplicates: map by consuming indices
+    used = set()
+    order = []
+    remaining = {i: insn for i, insn in enumerate(block)}
+    for insn in scheduled:
+        match = next(
+            i for i, other in sorted(remaining.items()) if other == insn
+        )
+        del remaining[match]
+        order.append(match)
+    # NOTE: with duplicate instructions the recovered permutation is not
+    # unique; validity of *some* assignment is the meaningful property.
+    if len(set(map(str, texts))) == len(texts):
+        assert is_valid_order(dfg, order)

@@ -1,0 +1,110 @@
+"""Semantic analysis: name resolution, arity, scoping rules."""
+
+import pytest
+
+from repro.minicc.parser import parse
+from repro.minicc.sema import SemaError, analyze
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def test_requires_main():
+    with pytest.raises(SemaError):
+        check("int f() { return 0; }")
+
+
+def test_duplicate_global():
+    with pytest.raises(SemaError):
+        check("int g; int g; int main() { return 0; }")
+
+
+def test_duplicate_function():
+    with pytest.raises(SemaError):
+        check("int f() { return 0; } int f() { return 0; } "
+              "int main() { return 0; }")
+
+
+def test_function_global_collision():
+    with pytest.raises(SemaError):
+        check("int f; int f() { return 0; } int main() { return 0; }")
+
+
+def test_too_many_params():
+    with pytest.raises(SemaError):
+        check("int f(int a, int b, int c, int d, int e) { return 0; } "
+              "int main() { return 0; }")
+
+
+def test_undefined_variable():
+    with pytest.raises(SemaError):
+        check("int main() { return nope; }")
+
+
+def test_undefined_function():
+    with pytest.raises(SemaError):
+        check("int main() { return nope(); }")
+
+
+def test_wrong_arity():
+    with pytest.raises(SemaError):
+        check("int f(int a) { return a; } int main() { return f(); }")
+
+
+def test_intrinsic_arity():
+    with pytest.raises(SemaError):
+        check("int main() { putc(1, 2); }")
+
+
+def test_assign_to_array_name():
+    with pytest.raises(SemaError):
+        check("int a[3]; int main() { a = 1; }")
+
+
+def test_index_non_array():
+    with pytest.raises(SemaError):
+        check("int g; int main() { return g[0]; }")
+
+
+def test_local_shadows_global_array():
+    # a local scalar named like a global array: assignment hits the local
+    check("int a[3]; int f(int a) { a = 1; return a; } "
+          "int main() { return f(0); }")
+
+
+def test_redeclaration_in_same_scope():
+    with pytest.raises(SemaError):
+        check("int main() { int x; int x; }")
+
+
+def test_sibling_scopes_may_reuse_names():
+    check("int main() { if (1) { int x; x = 1; } "
+          "if (2) { int x; x = 2; } return 0; }")
+
+
+def test_break_outside_loop():
+    with pytest.raises(SemaError):
+        check("int main() { break; }")
+
+
+def test_continue_inside_loop_ok():
+    check("int main() { while (1) { continue; } return 0; }")
+
+
+def test_locals_collected_in_order():
+    info = check("int f(int p) { int a; int b; return p; } "
+                 "int main() { return f(1); }")
+    assert info.functions["f"].locals == ["p", "a", "b"]
+
+
+def test_division_flag():
+    info = check("int main() { return 7 / 2; }")
+    assert info.uses_division
+    info = check("int main() { return 7 * 2; }")
+    assert not info.uses_division
+
+
+def test_array_name_as_address_value():
+    check("int a[3]; int f(int p) { return p; } "
+          "int main() { return f(a); }")

@@ -1,0 +1,123 @@
+"""Collision graphs and maximum independent set."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.collision import build_collision_graph, connected_components
+from repro.mining.embeddings import Embedding, dedupe_by_node_set
+from repro.mining.mis import greedy_mis, max_independent_set
+
+
+def emb(graph, *nodes):
+    return Embedding(graph, tuple(nodes))
+
+
+class TestEmbeddings:
+    def test_overlap_same_graph(self):
+        assert emb(0, 1, 2).overlaps(emb(0, 2, 3))
+        assert not emb(0, 1, 2).overlaps(emb(0, 3, 4))
+
+    def test_no_overlap_across_graphs(self):
+        assert not emb(0, 1, 2).overlaps(emb(1, 1, 2))
+
+    def test_dedupe_by_node_set(self):
+        embeddings = [emb(0, 1, 2), emb(0, 2, 1), emb(0, 3, 4)]
+        unique = dedupe_by_node_set(embeddings)
+        assert len(unique) == 2
+        assert unique[0] == emb(0, 1, 2)
+
+
+class TestCollisionGraph:
+    def test_adjacency(self):
+        embeddings = [emb(0, 1, 2), emb(0, 2, 3), emb(0, 4, 5)]
+        adj = build_collision_graph(embeddings)
+        assert adj[0] == [1] and adj[1] == [0] and adj[2] == []
+
+    def test_cross_graph_never_collides(self):
+        embeddings = [emb(0, 1, 2), emb(1, 1, 2)]
+        adj = build_collision_graph(embeddings)
+        assert adj == [[], []]
+
+    def test_components(self):
+        adj = [[1], [0], [3], [2], []]
+        comps = connected_components(adj)
+        assert sorted(map(tuple, comps)) == [(0, 1), (2, 3), (4,)]
+
+
+def brute_force_mis(adj):
+    n = len(adj)
+    best = 0
+    for r in range(n, 0, -1):
+        for subset in itertools.combinations(range(n), r):
+            chosen = set(subset)
+            if all(u not in adj[v] for v in chosen for u in chosen):
+                return r
+    return best
+
+
+class TestMIS:
+    def test_empty(self):
+        assert max_independent_set([]) == []
+
+    def test_no_edges_takes_all(self):
+        assert max_independent_set([[], [], []]) == [0, 1, 2]
+
+    def test_path_graph(self):
+        # 0-1-2-3-4: MIS = {0,2,4}
+        adj = [[1], [0, 2], [1, 3], [2, 4], [3]]
+        assert len(max_independent_set(adj)) == 3
+
+    def test_clique(self):
+        adj = [[1, 2], [0, 2], [0, 1]]
+        assert len(max_independent_set(adj)) == 1
+
+    def test_star(self):
+        adj = [[1, 2, 3, 4], [0], [0], [0], [0]]
+        assert len(max_independent_set(adj)) == 4
+
+    def test_result_is_independent(self):
+        adj = [[1], [0, 2], [1, 3], [2, 4], [3]]
+        chosen = max_independent_set(adj)
+        for v in chosen:
+            assert not set(adj[v]) & set(chosen)
+
+    def test_greedy_is_independent(self):
+        adj = [[1, 2], [0], [0, 3], [2]]
+        chosen = greedy_mis(adj)
+        for v in chosen:
+            assert not set(adj[v]) & set(chosen)
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(1, 9))
+    edges = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                edges.add((i, j))
+    adj = [[] for __ in range(n)]
+    for i, j in edges:
+        adj[i].append(j)
+        adj[j].append(i)
+    return adj
+
+
+@given(random_graphs())
+@settings(max_examples=120, deadline=None)
+def test_exact_mis_matches_brute_force(adj):
+    exact = max_independent_set(adj)
+    # independence
+    for v in exact:
+        assert not set(adj[v]) & set(exact)
+    # maximality (cardinality)
+    assert len(exact) == brute_force_mis(adj)
+
+
+@given(random_graphs())
+@settings(max_examples=80, deadline=None)
+def test_greedy_never_beats_exact(adj):
+    assert len(greedy_mis(adj)) <= len(max_independent_set(adj))

@@ -1,0 +1,70 @@
+"""The convexity-headroom prune (never_convex_within)."""
+
+from repro.binary.program import BasicBlock
+from repro.dfg.builder import build_dfg
+from repro.dfg.graph import DFG
+from repro.isa.assembler import parse_instruction
+from repro.mining.pruning import between_nodes, is_convex, never_convex_within
+
+
+def mk(labels, edges):
+    return DFG(labels=[str(l) for l in labels], insns=[None] * len(labels),
+               edges=set(edges), dep_edges=set(edges))
+
+
+def chain(n):
+    return mk(["X"] * n, {(i, i + 1, "d") for i in range(n - 1)})
+
+
+def test_convex_embedding_never_pruned():
+    g = chain(10)
+    assert not never_convex_within(g, [3, 4, 5], max_nodes=4)
+
+
+def test_local_gap_within_headroom_not_pruned():
+    g = chain(10)
+    # fragment {2, 4}: node 3 between, headroom 6: absorbable
+    assert not never_convex_within(g, [2, 4], max_nodes=8)
+    assert between_nodes(g, [2, 4]) == {3}
+
+
+def test_wide_gap_beyond_headroom_pruned():
+    g = chain(30)
+    # fragment {0, 29}: 28 between nodes, headroom 6: hopeless
+    assert never_convex_within(g, [0, 29], max_nodes=8)
+
+
+def test_exactly_at_headroom_boundary():
+    g = chain(10)
+    # fragment {0, 5}: 4 between nodes
+    assert not never_convex_within(g, [0, 5], max_nodes=6)   # 2 + 4 = 6
+    assert never_convex_within(g, [0, 5], max_nodes=5)
+
+
+def test_oversized_fragment_pruned():
+    g = chain(10)
+    assert never_convex_within(g, list(range(9)), max_nodes=5)
+
+
+def test_disconnected_between_paths_counted():
+    # two parallel paths bridging the fragment
+    g = mk("ABCDE", {(0, 1, "d"), (1, 4, "d"), (0, 2, "d"), (2, 4, "d"),
+                     (0, 3, "d"), (3, 4, "d")})
+    assert between_nodes(g, [0, 4]) == {1, 2, 3}
+    assert never_convex_within(g, [0, 4], max_nodes=4)
+    assert not never_convex_within(g, [0, 4], max_nodes=5)
+
+
+def test_superset_monotonicity_property():
+    """between(F') ⊇ between(F) \\ F' — the lemma the prune rests on."""
+    insns = [parse_instruction(t) for t in (
+        "mov r0, #1", "add r1, r0, #1", "add r2, r1, #1",
+        "add r3, r2, #1", "add r4, r3, r0",
+    )]
+    dfg = build_dfg(BasicBlock(instructions=insns))
+    small = {0, 4}
+    for extra in range(1, 4):
+        larger = small | {extra}
+        assert between_nodes(dfg, small) - larger <= between_nodes(
+            dfg, larger
+        )

@@ -1,0 +1,122 @@
+"""Fuzzy canonical matching (Fig. 13) and block fingerprints."""
+
+from repro.isa.assembler import parse_instruction
+from repro.pa.canonical import canonical_dfg, canonical_label, fuzzy_potential
+from repro.pa.fingerprint import (
+    block_fingerprint,
+    group_by_fingerprint,
+    identical_block_groups,
+)
+
+from tests.conftest import module_from_source
+
+
+def canon(text):
+    return canonical_label(parse_instruction(text))
+
+
+class TestCanonicalLabels:
+    def test_paper_fig13(self):
+        # Fig. 13: ldr R, [R]! / sub R, R, R / add R, R, I
+        assert canon("ldr r3, [r1, #0]!") == "ldr R, [R, I]!"
+        assert canon("sub r2, r2, r3") == "sub R, R, R"
+        assert canon("add r4, r2, #4") == "add R, R, I"
+
+    def test_registers_abstracted(self):
+        assert canon("add r1, r2, r3") == canon("add r9, r10, fp")
+
+    def test_immediates_abstracted(self):
+        assert canon("mov r0, #1") == canon("mov r0, #200")
+
+    def test_mnemonic_and_shape_preserved(self):
+        assert canon("add r0, r1, r2") != canon("sub r0, r1, r2")
+        assert canon("add r0, r1, r2") != canon("add r0, r1, #2")
+
+    def test_condition_preserved(self):
+        assert canon("moveq r0, #1") != canon("mov r0, #1")
+
+    def test_shifted_and_memory_forms(self):
+        assert canon("add r0, r1, r2, lsl #2") == "add R, R, R, lsl I"
+        assert canon("ldr r0, [r1], #4") == "ldr R, [R], I"
+        assert canon("ldr r0, [r1, r2]") == "ldr R, [R, R]"
+        assert canon("push {r4, r5, lr}") == "push {R, R, R}"
+        assert canon("bl foo") == "bl L"
+
+    def test_canonical_dfg_relabels_only(self):
+        module = module_from_source(
+            "_start:\n mov r1, #1\n add r2, r1, #2\n swi #0\n"
+        )
+        from repro.dfg.builder import build_dfgs
+
+        dfg = build_dfgs(module)[0]
+        fuzzy = canonical_dfg(dfg)
+        assert fuzzy.labels == ["mov R, I", "add R, R, I", "swi I"]
+        assert fuzzy.edges == dfg.edges
+
+
+class TestFuzzyPotential:
+    def test_fuzzy_sees_register_renamed_duplicates(self):
+        src = """
+        _start:
+            push {r4, r5, r6, r7, lr}
+            mov r1, #3
+            add r2, r1, #5
+            mul r4, r2, r1
+            eor r6, r4, r2
+            mov r3, #7
+            add r5, r3, #9
+            mul r7, r5, r3
+            eor r8, r7, r5
+            add r0, r6, r8
+            swi #2
+            mov r0, #0
+            swi #0
+        """
+        module = module_from_source(src)
+        report = fuzzy_potential(module)
+        assert report.fuzzy_best > report.exact_best
+        assert report.additional_potential > 0
+
+
+class TestFingerprints:
+    def test_identical_blocks_same_fingerprint(self):
+        src = """
+        _start:
+            cmp r0, #0
+            beq a
+        a:
+            mov r1, #1
+            add r2, r1, #2
+            b done
+        b:
+            mov r1, #1
+            add r2, r1, #2
+            b done
+        done:
+            swi #0
+        """
+        module = module_from_source(src)
+        groups = group_by_fingerprint(module)
+        assert any(len(g) >= 2 for g in groups.values())
+        identical = identical_block_groups(module)
+        assert any(len(g) >= 2 for g in identical)
+
+    def test_register_renaming_preserves_fingerprint(self):
+        from repro.binary.program import BasicBlock
+
+        a = BasicBlock(instructions=[
+            parse_instruction("mov r1, #1"),
+            parse_instruction("add r2, r1, #2"),
+        ])
+        b = BasicBlock(instructions=[
+            parse_instruction("mov r5, #1"),
+            parse_instruction("add r6, r5, #9"),
+        ])
+        assert block_fingerprint(a) == block_fingerprint(b)
+
+    def test_different_shape_different_fingerprint(self):
+        from repro.binary.program import BasicBlock
+
+        a = BasicBlock(instructions=[parse_instruction("mov r1, #1")])
+        b = BasicBlock(instructions=[parse_instruction("ldr r1, [r2]")])
+        assert block_fingerprint(a) != block_fingerprint(b)

@@ -1,0 +1,91 @@
+"""Cross-function tail merging (classic shared-epilogue scenario)."""
+
+from repro.binary.layout import layout
+from repro.pa.driver import PAConfig, run_pa
+from repro.sim.machine import run_image
+
+from tests.conftest import module_from_source, run_asm
+
+SHARED_EPILOGUE = """
+_start:
+    bl f
+    swi #2
+    bl g
+    swi #2
+    mov r0, #0
+    swi #0
+f:
+    push {r4, r5, r6, lr}
+    mov r1, #2
+    mul r4, r1, r1
+    add r0, r4, #10
+    eor r0, r0, #3
+    orr r0, r0, #1
+    pop {r4, r5, r6, pc}
+g:
+    push {r4, r5, r6, lr}
+    mov r1, #7
+    mul r4, r1, r1
+    add r0, r4, #10
+    eor r0, r0, #3
+    orr r0, r0, #1
+    pop {r4, r5, r6, pc}
+"""
+
+
+def test_shared_epilogue_cross_jumped_or_outlined():
+    reference = run_asm(SHARED_EPILOGUE)
+    module = module_from_source(SHARED_EPILOGUE)
+    result = run_pa(module, PAConfig())
+    assert result.saved > 0
+    out = run_image(layout(module))
+    assert (out.exit_code, out.output) == (
+        reference.exit_code, reference.output
+    )
+
+
+def test_cross_jump_reached_from_other_function_runs():
+    """When a tail is shared across functions, the non-survivor branches
+    into the survivor's function body; control must still return to the
+    right caller."""
+    module = module_from_source(SHARED_EPILOGUE)
+    result = run_pa(module, PAConfig())
+    rendered = module.render()
+    if result.crossjump_extractions:
+        assert "tail_" in rendered or "b " in rendered
+    out = run_image(layout(module))
+    assert out.output_text == run_asm(SHARED_EPILOGUE).output_text
+
+
+def test_tail_merge_of_leaf_returns():
+    source = """
+    _start:
+        bl f
+        swi #2
+        bl g
+        swi #2
+        mov r0, #0
+        swi #0
+    f:
+        mov r1, #2
+        add r0, r1, #40
+        eor r0, r0, #7
+        and r0, r0, #127
+        mov pc, lr
+    g:
+        mov r1, #9
+        add r0, r1, #40
+        eor r0, r0, #7
+        and r0, r0, #127
+        mov pc, lr
+    """
+    reference = run_asm(source)
+    module = module_from_source(source)
+    result = run_pa(module, PAConfig())
+    # call outlining is illegal everywhere (leaf functions, live lr), so
+    # any savings here must come from cross-jumps
+    assert result.call_extractions == 0
+    out = run_image(layout(module))
+    assert (out.exit_code, out.output) == (
+        reference.exit_code, reference.output
+    )

@@ -1,0 +1,242 @@
+"""Extraction mechanics: outlining, cross-jumping, re-linearization."""
+
+import pytest
+
+from repro.binary.layout import layout
+from repro.binary.program import BasicBlock
+from repro.dfg.builder import build_dfg, build_dfgs
+from repro.isa.assembler import parse_instruction
+from repro.mining.embeddings import Embedding
+from repro.pa.extract import (
+    ExtractionError,
+    body_order,
+    call_site_feasible,
+    extract_call,
+    extract_crossjump,
+    order_consistent_subset,
+)
+from repro.sim.machine import run_image
+
+from tests.conftest import module_from_source, run_asm
+
+
+def insns(*texts):
+    return [parse_instruction(t) for t in texts]
+
+
+class TestOrderConsistency:
+    def test_compatible_occurrences_kept(self):
+        src = """
+        _start:
+            mov r0, #1
+            add r1, r0, #2
+            mov r0, #1
+            add r1, r0, #2
+            swi #0
+        """
+        module = module_from_source(src)
+        dfgs = build_dfgs(module)
+        embs = [Embedding(0, (0, 1)), Embedding(0, (2, 3))]
+        kept, union = order_consistent_subset(dfgs, embs)
+        assert len(kept) == 2
+        assert (0, 1) in union
+
+    def test_conflicting_orders_dropped(self):
+        # same two instructions, opposite output-dependence order
+        src = """
+        _start:
+            mov r0, #1
+            mov r0, #2
+            mov r0, #2
+            mov r0, #1
+            swi #0
+        """
+        module = module_from_source(src)
+        dfgs = build_dfgs(module)
+        # roles: role0 = "mov r0, #1", role1 = "mov r0, #2"
+        embs = [Embedding(0, (0, 1)), Embedding(0, (3, 2))]
+        kept, union = order_consistent_subset(dfgs, embs)
+        assert len(kept) == 1
+
+    def test_body_order_respects_union(self):
+        body = insns("mov r1, #2", "mov r0, #1")
+        ordered = body_order(body, {(1, 0)})
+        assert [str(i) for i in ordered] == ["mov r0, #1", "mov r1, #2"]
+
+    def test_body_order_cycle_raises(self):
+        body = insns("mov r0, #1", "mov r1, #2")
+        with pytest.raises(ExtractionError):
+            body_order(body, {(0, 1), (1, 0)})
+
+
+class TestCallSiteFeasibility:
+    def test_leaf_function_body_infeasible(self):
+        # the block's return reads lr and must stay last: clash
+        dfg = build_dfg(BasicBlock(instructions=insns(
+            "mov r1, #3", "add r2, r1, #1", "mov pc, lr"
+        )))
+        assert not call_site_feasible(dfg, [0, 1])
+
+    def test_lr_reader_before_fragment_ok(self):
+        dfg = build_dfg(BasicBlock(instructions=insns(
+            "push {r4, lr}", "mov r1, #3", "add r2, r1, #1"
+        )))
+        assert call_site_feasible(dfg, [1, 2])
+
+
+class TestExtractCallBehaviour:
+    SRC = """
+    _start:
+        bl f1
+        swi #2
+        bl f2
+        swi #2
+        mov r0, #0
+        swi #0
+    f1:
+        push {r4, lr}
+        mov r1, #3
+        mov r2, #5
+        add r3, r1, r2
+        mul r4, r3, r1
+        mov r0, r4
+        pop {r4, pc}
+    f2:
+        push {r4, lr}
+        mov r2, #5
+        mov r1, #3
+        add r3, r1, r2
+        mul r4, r3, r1
+        add r0, r4, #1
+        pop {r4, pc}
+    """
+
+    def _fragment_embeddings(self, module):
+        """Locate the shared 4-instruction computation in both bodies."""
+        dfgs = build_dfgs(module)
+        wanted = {"mov r1, #3", "mov r2, #5", "add r3, r1, r2",
+                  "mul r4, r3, r1"}
+        embeddings = []
+        for gi, dfg in enumerate(dfgs):
+            if wanted <= set(dfg.labels):
+                order = ["mov r1, #3", "mov r2, #5", "add r3, r1, r2",
+                         "mul r4, r3, r1"]
+                nodes = tuple(dfg.labels.index(t) for t in order)
+                embeddings.append(Embedding(gi, nodes))
+        assert len(embeddings) == 2
+        return dfgs, embeddings
+
+    def test_outline_preserves_behaviour(self):
+        reference = run_asm(self.SRC)
+        module = module_from_source(self.SRC)
+        dfgs, embeddings = self._fragment_embeddings(module)
+        kept, union = order_consistent_subset(dfgs, embeddings)
+        body = [dfgs[kept[0].graph].insns[n] for n in kept[0].nodes]
+        before = module.num_instructions
+        name = extract_call(module, dfgs, body, kept, union)
+        assert module.num_instructions == before - 2 * 4 + 2 + 5
+        result = run_image(layout(module))
+        assert (result.exit_code, result.output) == (
+            reference.exit_code, reference.output
+        )
+        outlined = module.function(name)
+        assert outlined.blocks[0].instructions[-1].is_return
+
+    def test_outlined_body_has_return(self):
+        module = module_from_source(self.SRC)
+        dfgs, embeddings = self._fragment_embeddings(module)
+        kept, union = order_consistent_subset(dfgs, embeddings)
+        body = [dfgs[kept[0].graph].insns[n] for n in kept[0].nodes]
+        name = extract_call(module, dfgs, body, kept, union)
+        texts = [str(i) for i in module.function(name).blocks[0]]
+        assert texts[-1] == "mov pc, lr"
+        assert len(texts) == 5
+
+
+class TestExtractCrossjumpBehaviour:
+    SRC = """
+    _start:
+        mov r5, #1
+        cmp r5, #1
+        beq path_a
+        mov r0, #7
+        eor r1, r0, #3
+        add r0, r1, #1
+        swi #2
+        b finish
+    path_a:
+        mov r0, #7
+        eor r1, r0, #3
+        add r0, r1, #1
+        swi #2
+        b finish
+    finish:
+        mov r0, #0
+        swi #0
+    """
+
+    def test_tail_merge_preserves_behaviour(self):
+        reference = run_asm(self.SRC)
+        module = module_from_source(self.SRC)
+        dfgs = build_dfgs(module)
+        tail = ["mov r0, #7", "eor r1, r0, #3", "add r0, r1, #1"]
+        embeddings = []
+        for gi, dfg in enumerate(dfgs):
+            if set(tail) <= set(dfg.labels) and dfg.labels[-1] == "b finish":
+                # include everything: the whole block is the shared tail
+                embeddings.append(
+                    Embedding(gi, tuple(range(dfg.num_nodes)))
+                )
+        assert len(embeddings) == 2
+        kept, union = order_consistent_subset(dfgs, embeddings)
+        body = [dfgs[kept[0].graph].insns[n] for n in kept[0].nodes]
+        before = module.num_instructions
+        extract_crossjump(module, dfgs, body, kept, union)
+        size = len(body)
+        assert module.num_instructions == before - (size - 1)
+        result = run_image(layout(module))
+        assert (result.exit_code, result.output) == (
+            reference.exit_code, reference.output
+        )
+
+
+class TestMultipleOccurrencesInOneBlock:
+    SRC = """
+    _start:
+        mov r1, #9
+        add r2, r1, #4
+        eor r4, r2, r1
+        add r6, r4, #0
+        mov r1, #9
+        add r2, r1, #4
+        eor r4, r2, r1
+        add r6, r6, r4
+        mov r0, r6
+        swi #2
+        mov r0, #0
+        swi #0
+    """
+
+    def test_two_call_sites_in_one_block(self):
+        """The paper's Edgar motivation: one block, two occurrences."""
+        reference = run_asm(self.SRC)
+        module = module_from_source(self.SRC)
+        dfgs = build_dfgs(module)
+        big = max(range(len(dfgs)), key=lambda i: dfgs[i].num_nodes)
+        dfg = dfgs[big]
+        first, second = (0, 1, 2), (4, 5, 6)
+        assert [dfg.labels[i] for i in first] == [
+            dfg.labels[j] for j in second
+        ]
+        embeddings = [Embedding(big, first), Embedding(big, second)]
+        kept, union = order_consistent_subset(dfgs, embeddings)
+        assert len(kept) == 2
+        body = [dfg.insns[n] for n in kept[0].nodes]
+        before = module.num_instructions
+        extract_call(module, dfgs, body, kept, union)
+        # two sites shrink to calls; a 4-instruction proc is added
+        assert module.num_instructions == before - 2 * 3 + 2 + 4
+        result = run_image(layout(module))
+        assert (result.exit_code, result.output) == (
+            reference.exit_code, reference.output
+        )

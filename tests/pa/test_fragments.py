@@ -1,0 +1,68 @@
+"""The cost/benefit model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.assembler import parse_instruction
+from repro.pa.fragments import (
+    best_possible_benefit,
+    call_benefit,
+    call_overhead,
+    crossjump_benefit,
+)
+
+
+class TestCallBenefit:
+    def test_paper_arithmetic(self):
+        # n occurrences of size s -> n calls + proc of s+1
+        assert call_benefit(size=6, occurrences=3, overhead=1) == \
+            3 * 6 - 3 - (6 + 1)
+
+    def test_two_small_occurrences_never_pay(self):
+        assert call_benefit(2, 2, 1) < 0
+        assert call_benefit(3, 2, 1) == 0
+
+    def test_grows_with_occurrences(self):
+        assert call_benefit(4, 5, 1) > call_benefit(4, 3, 1)
+
+    def test_bracket_overhead(self):
+        plain = [parse_instruction("add r0, r0, #1")]
+        with_call = [parse_instruction("bl foo")]
+        assert call_overhead(plain) == 1
+        assert call_overhead(with_call) == 2
+
+
+class TestCrossjumpBenefit:
+    def test_formula(self):
+        assert crossjump_benefit(size=5, occurrences=3) == 2 * 4
+
+    def test_single_occurrence_saves_nothing(self):
+        assert crossjump_benefit(5, 1) == 0
+
+    def test_single_instruction_saves_nothing(self):
+        assert crossjump_benefit(1, 4) == 0
+
+
+@given(st.integers(1, 30), st.integers(2, 30))
+def test_bound_dominates_both_methods(size, occurrences):
+    bound = best_possible_benefit(size, occurrences)
+    assert bound >= call_benefit(size, occurrences, 1)
+    assert bound >= call_benefit(size, occurrences, 2)
+    assert bound >= crossjump_benefit(size, occurrences)
+
+
+@given(st.integers(1, 30), st.integers(2, 29))
+def test_benefit_antimonotone_in_occurrences(size, occurrences):
+    """Fewer occurrences can never increase the bound — the property the
+    lattice pruning relies on."""
+    assert best_possible_benefit(size, occurrences) <= best_possible_benefit(
+        size, occurrences + 1
+    )
+
+
+@given(st.integers(1, 29), st.integers(2, 30))
+def test_benefit_antimonotone_in_size(size, occurrences):
+    assert best_possible_benefit(size, occurrences) <= best_possible_benefit(
+        size + 1, occurrences
+    )

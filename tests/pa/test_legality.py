@@ -1,0 +1,127 @@
+"""Extraction legality: fragment-level and placement-level rules."""
+
+import pytest
+
+from repro.binary.program import BasicBlock
+from repro.dfg.builder import build_dfg
+from repro.isa.assembler import parse_instruction
+from repro.pa.legality import (
+    ExtractionMethod,
+    classify_fragment,
+    embedding_legal,
+)
+
+
+def insns(*texts):
+    return [parse_instruction(t) for t in texts]
+
+
+def dfg_of(*texts):
+    return build_dfg(BasicBlock(instructions=insns(*texts)))
+
+
+class TestClassifyCall:
+    def test_plain_computation(self):
+        assert classify_fragment(
+            insns("mov r0, #1", "add r1, r0, #2")
+        ) is ExtractionMethod.CALL
+
+    def test_lr_reader_rejected(self):
+        assert classify_fragment(insns("push {r4, lr}")) is None
+        assert classify_fragment(insns("mov r0, lr")) is None
+
+    def test_lr_writer_rejected(self):
+        assert classify_fragment(insns("mov lr, r0")) is None
+        assert classify_fragment(insns("pop {r4, lr}")) is None
+
+    def test_call_inside_allowed(self):
+        assert classify_fragment(
+            insns("mov r0, #1", "bl helper")
+        ) is ExtractionMethod.CALL
+
+    def test_call_plus_sp_write_rejected(self):
+        assert classify_fragment(
+            insns("bl helper", "push {r4}")
+        ) is None
+        assert classify_fragment(
+            insns("bl helper", "sub sp, sp, #8")
+        ) is None
+
+    def test_call_plus_sp_relative_access_rejected(self):
+        # the push {lr} bracket shifts sp: [sp, #8] would be off by 4
+        # (this exact case miscompiled sha)
+        assert classify_fragment(
+            insns("bl helper", "ldr r0, [sp, #8]")
+        ) is None
+        assert classify_fragment(
+            insns("str r0, [sp]", "bl helper")
+        ) is None
+
+    def test_sp_write_without_call_allowed(self):
+        assert classify_fragment(
+            insns("sub sp, sp, #8", "str r0, [sp]")
+        ) is ExtractionMethod.CALL
+
+    def test_conditional_instructions_allowed(self):
+        assert classify_fragment(
+            insns("cmp r0, #0", "moveq r1, #1")
+        ) is ExtractionMethod.CALL
+
+
+class TestClassifyCrossjump:
+    def test_return_tail(self):
+        assert classify_fragment(
+            insns("add r0, r0, #1", "mov pc, lr")
+        ) is ExtractionMethod.CROSSJUMP
+
+    def test_pop_return_tail(self):
+        assert classify_fragment(
+            insns("mov r0, r4", "pop {r4, pc}")
+        ) is ExtractionMethod.CROSSJUMP
+
+    def test_branch_tail(self):
+        assert classify_fragment(
+            insns("add r0, r0, #1", "b loop")
+        ) is ExtractionMethod.CROSSJUMP
+
+    def test_conditional_branch_rejected(self):
+        assert classify_fragment(
+            insns("add r0, r0, #1", "beq out")
+        ) is None
+
+    def test_two_terminators_rejected(self):
+        assert classify_fragment(insns("b a", "b b")) is None
+
+    def test_lr_return_with_call_inside_rejected(self):
+        assert classify_fragment(
+            insns("bl helper", "mov pc, lr")
+        ) is None
+
+    def test_pop_return_with_call_inside_allowed(self):
+        assert classify_fragment(
+            insns("bl helper", "pop {pc}")
+        ) is ExtractionMethod.CROSSJUMP
+
+
+class TestEmbeddingLegal:
+    def test_convex_ok(self):
+        dfg = dfg_of("mov r0, #1", "add r1, r0, #2", "mul r2, r1, r1")
+        assert embedding_legal(dfg, [0, 1], ExtractionMethod.CALL)
+
+    def test_paper_fig9_cycle_rejected(self):
+        # fragment {0, 2} with 1 in between: contracting creates a cycle
+        dfg = dfg_of("mov r0, #1", "add r1, r0, #2", "mul r2, r1, r1")
+        assert not embedding_legal(dfg, [0, 2], ExtractionMethod.CALL)
+
+    def test_crossjump_needs_block_end(self):
+        dfg = dfg_of("mov r0, #1", "add r1, r0, #2", "b out")
+        assert not embedding_legal(dfg, [0, 1], ExtractionMethod.CROSSJUMP)
+        assert embedding_legal(dfg, [0, 1, 2], ExtractionMethod.CROSSJUMP)
+
+    def test_crossjump_needs_successor_closure(self):
+        # r1 defined in fragment, used by an instruction outside it
+        dfg = dfg_of(
+            "mov r0, #1", "add r1, r0, #2", "mul r2, r1, r1", "b out"
+        )
+        assert not embedding_legal(dfg, [1, 3], ExtractionMethod.CROSSJUMP)
+        assert embedding_legal(dfg, [1, 2, 3], ExtractionMethod.CROSSJUMP)

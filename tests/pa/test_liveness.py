@@ -1,0 +1,131 @@
+"""Module-wide lr liveness — including the cross-jump regression."""
+
+from repro.binary.layout import layout
+from repro.pa.driver import PAConfig, run_pa
+from repro.pa.liveness import lr_live_out_blocks
+from repro.pa.sfx import SFXConfig, run_sfx
+from repro.sim.machine import run_image
+
+from tests.conftest import module_from_source, run_asm
+
+
+def keys(module):
+    return lr_live_out_blocks(module)
+
+
+def test_leaf_function_blocks_live():
+    module = module_from_source(
+        """
+        _start:
+            bl f
+            swi #0
+        f:
+            mov r1, #1
+            cmp r1, #0
+            beq out
+            add r1, r1, #1
+        out:
+            mov pc, lr
+        """
+    )
+    live = keys(module)
+    # every f block preceding the lr-consuming return is live-out
+    assert ("f", 0) in live
+    assert ("f", 1) in live
+    assert ("f", 2) not in live  # the return block itself consumes lr
+
+
+def test_stack_saving_function_dead():
+    module = module_from_source(
+        """
+        _start:
+            bl f
+            swi #0
+        f:
+            push {r4, lr}
+            mov r4, #1
+            pop {r4, pc}
+        """
+    )
+    live = keys(module)
+    assert ("f", 0) not in live
+
+
+def test_bl_kills_liveness():
+    module = module_from_source(
+        """
+        _start:
+            mov r0, #0
+            bl f
+            swi #0
+        f:
+            mov pc, lr
+        """
+    )
+    # _start block 0: the bl rewrites lr before... actually the bl is in
+    # the same block; lr is never read in _start, so nothing is live
+    assert ("_start", 0) not in keys(module)
+
+
+def test_cross_function_tail_keeps_liveness():
+    """The rijndael regression shape: a shared tail in another function
+    consumes lr; its feeder blocks must be live-out."""
+    module = module_from_source(
+        """
+        _start:
+            bl f
+            bl g
+            swi #0
+        f:
+            mov r1, #1
+            b shared
+        g:
+            mov r1, #2
+            b shared
+        shared:
+            add r1, r1, #1
+            mov pc, lr
+        """
+    )
+    live = keys(module)
+    assert ("f", 0) in live
+    assert ("g", 0) in live
+
+
+def test_regression_no_call_outlining_into_tail_merged_leaf():
+    """After tail-merging two leaf returns, outlining from a feeder
+    block must be refused (a bl there would clobber the still-live lr).
+    Behaviour before the fix: infinite loop."""
+    src = """
+    _start:
+        bl f
+        swi #2
+        bl g
+        swi #2
+        mov r0, #0
+        swi #0
+    f:
+        mov r1, #3
+        add r2, r1, #5
+        eor r3, r2, r1
+        orr r0, r3, #1
+        mov pc, lr
+    g:
+        mov r1, #3
+        add r2, r1, #5
+        eor r3, r2, r1
+        orr r0, r3, #2
+        mov pc, lr
+    """
+    reference = run_asm(src)
+
+    for engine in ("sfx", "edgar"):
+        module = module_from_source(src)
+        if engine == "sfx":
+            run_sfx(module, SFXConfig())
+        else:
+            run_pa(module, PAConfig(miner="edgar"))
+        result = run_image(layout(module), max_steps=100_000)
+        assert (result.exit_code, result.output) == (
+            reference.exit_code, reference.output
+        ), engine

@@ -1,0 +1,68 @@
+"""Global properties of the abstraction engines."""
+
+import pytest
+
+from repro.binary.layout import layout
+from repro.pa.driver import PAConfig, run_pa
+from repro.pa.sfx import run_sfx
+from repro.sim.machine import run_image
+from repro.workloads import compile_workload
+
+from tests.conftest import SHARED_FRAGMENT_PROGRAM, module_from_source
+
+
+def test_pa_never_increases_size(shared_fragment_module):
+    before = shared_fragment_module.num_instructions
+    run_pa(shared_fragment_module, PAConfig())
+    assert shared_fragment_module.num_instructions <= before
+
+
+def test_pa_fixpoint_is_stable(shared_fragment_module):
+    run_pa(shared_fragment_module, PAConfig())
+    size = shared_fragment_module.num_instructions
+    second = run_pa(shared_fragment_module, PAConfig())
+    assert second.saved == 0
+    assert shared_fragment_module.num_instructions == size
+
+
+def test_sfx_fixpoint_is_stable():
+    module = compile_workload("crc")
+    run_sfx(module)
+    again = run_sfx(module)
+    assert again.saved == 0
+
+
+def test_result_module_is_the_input_module(shared_fragment_module):
+    result = run_pa(shared_fragment_module, PAConfig())
+    assert result.module is shared_fragment_module
+    assert result.instructions_after == shared_fragment_module.num_instructions
+
+
+def test_records_sum_to_savings():
+    module = compile_workload("dijkstra")
+    result = run_pa(module, PAConfig(time_budget=60))
+    assert result.saved == sum(r.benefit for r in result.records)
+    assert result.call_extractions + result.crossjump_extractions == len(
+        result.records
+    )
+
+
+def test_outlined_procedures_are_registered_functions(
+    shared_fragment_module,
+):
+    result = run_pa(shared_fragment_module, PAConfig())
+    for record in result.records:
+        if record.method == "call":
+            func = shared_fragment_module.function(record.new_symbol)
+            body = list(func.iter_instructions())
+            assert body[-1].is_return
+            assert len(body) >= record.size + 1
+    # the module still links and runs
+    run_image(layout(shared_fragment_module))
+
+
+def test_engines_keep_exempt_and_entry():
+    module = compile_workload("sha")
+    entry_before = module.entry
+    run_pa(module, PAConfig(time_budget=30))
+    assert module.entry == entry_before

@@ -1,0 +1,161 @@
+"""SFX baseline: sequence detection, legality, blindness to reordering."""
+
+import pytest
+
+from repro.binary.layout import layout
+from repro.pa.sfx import SFXConfig, run_sfx
+from repro.sim.machine import run_image
+
+from tests.conftest import module_from_source, run_asm
+
+
+def test_extracts_repeated_sequence():
+    src = """
+    _start:
+        push {r4, lr}
+        mov r1, #3
+        add r2, r1, #5
+        eor r3, r2, r1
+        orr r3, r3, #1
+        mov r4, r3
+        mov r1, #3
+        add r2, r1, #5
+        eor r3, r2, r1
+        orr r3, r3, #1
+        add r0, r4, r3
+        swi #2
+        mov r0, #0
+        swi #0
+    """
+    reference = run_asm(src)
+    module = module_from_source(src)
+    result = run_sfx(module)
+    assert result.saved > 0
+    out = run_image(layout(module))
+    assert (out.exit_code, out.output) == (
+        reference.exit_code, reference.output
+    )
+
+
+def test_blind_to_reordering():
+    """The paper's core observation: reordered occurrences are invisible
+    to sequence matching."""
+    src = """
+    _start:
+        push {r4, lr}
+        mov r1, #3
+        mov r2, #5
+        add r3, r1, r2
+        mul r4, r3, r1
+        mov r2, #5
+        mov r1, #3
+        add r3, r1, r2
+        mul r4, r3, r1
+        mov r0, r4
+        swi #2
+        mov r0, #0
+        swi #0
+    """
+    module = module_from_source(src)
+    result = run_sfx(module, SFXConfig(min_len=3))
+    # the 4-instruction computation appears twice but never as the same
+    # contiguous string
+    assert result.saved == 0
+
+
+def test_lr_reading_sequences_skipped():
+    src = """
+    _start:
+        bl f
+        bl g
+        mov r0, #0
+        swi #0
+    f:
+        mov r1, #1
+        add r2, r1, #2
+        mov pc, lr
+    g:
+        mov r1, #1
+        add r2, r1, #2
+        mov pc, lr
+    """
+    reference = run_asm(src)
+    module = module_from_source(src)
+    result = run_sfx(module)
+    out = run_image(layout(module))
+    assert (out.exit_code, out.output) == (
+        reference.exit_code, reference.output
+    )
+
+
+def test_crossjump_tail_merge():
+    src = """
+    _start:
+        mov r5, #1
+        cmp r5, #1
+        beq other
+        mov r1, #4
+        add r2, r1, #6
+        eor r0, r2, r1
+        b finish
+    other:
+        mov r1, #4
+        add r2, r1, #6
+        eor r0, r2, r1
+        b finish
+    finish:
+        swi #0
+    """
+    reference = run_asm(src)
+    module = module_from_source(src)
+    result = run_sfx(module)
+    assert result.crossjump_extractions >= 1
+    out = run_image(layout(module))
+    assert (out.exit_code, out.output) == (
+        reference.exit_code, reference.output
+    )
+
+
+def test_benefit_accounting_is_exact():
+    src = """
+    _start:
+        push {r4, lr}
+        mov r1, #3
+        add r2, r1, #5
+        eor r3, r2, r1
+        orr r3, r3, #1
+        mov r4, r3
+        mov r1, #3
+        add r2, r1, #5
+        eor r3, r2, r1
+        orr r3, r3, #1
+        add r0, r4, r3
+        swi #2
+        mov r0, #0
+        swi #0
+    """
+    module = module_from_source(src)
+    before = module.num_instructions
+    result = run_sfx(module)
+    assert module.num_instructions == before - result.saved
+    assert result.instructions_before == before
+
+
+def test_respects_block_boundaries():
+    # the repeated pair spans a branch target: not a contiguous run
+    src = """
+    _start:
+        mov r1, #1
+        cmp r1, #0
+        beq mid
+        mov r2, #2
+    mid:
+        mov r3, #3
+        mov r2, #2
+    mid2:
+        mov r3, #3
+        swi #0
+    """
+    module = module_from_source(src)
+    result = run_sfx(module, SFXConfig(min_len=2))
+    assert result.saved == 0

@@ -1,0 +1,257 @@
+"""CPU semantics: arithmetic, flags, conditions, memory addressing."""
+
+import pytest
+
+from repro.isa.assembler import parse_instruction
+from repro.isa.registers import LR, PC, SP
+from repro.sim.cpu import CPU, Flags, to_signed
+from repro.sim.memory import Memory
+
+
+def make_cpu():
+    return CPU(Memory(), syscall=lambda n, c: None)
+
+
+def run(cpu, *texts):
+    for text in texts:
+        cpu.regs[PC] = 0x8000
+        cpu.step(parse_instruction(text))
+
+
+class TestToSigned:
+    def test_positive(self):
+        assert to_signed(5) == 5
+
+    def test_negative(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x80000000) == -(1 << 31)
+
+
+class TestDataProcessing:
+    def test_mov_imm(self):
+        cpu = make_cpu()
+        run(cpu, "mov r0, #42")
+        assert cpu.regs[0] == 42
+
+    def test_mvn(self):
+        cpu = make_cpu()
+        run(cpu, "mvn r0, #0")
+        assert cpu.regs[0] == 0xFFFFFFFF
+
+    def test_add_wraps(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 0xFFFFFFFF
+        run(cpu, "add r0, r1, #2")
+        assert cpu.regs[0] == 1
+
+    def test_sub(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 10
+        run(cpu, "sub r0, r1, #3")
+        assert cpu.regs[0] == 7
+
+    def test_rsb(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 3
+        run(cpu, "rsb r0, r1, #0")
+        assert to_signed(cpu.regs[0]) == -3
+
+    def test_logical_ops(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 0b1100
+        cpu.regs[2] = 0b1010
+        run(cpu, "and r0, r1, r2")
+        assert cpu.regs[0] == 0b1000
+        run(cpu, "orr r0, r1, r2")
+        assert cpu.regs[0] == 0b1110
+        run(cpu, "eor r0, r1, r2")
+        assert cpu.regs[0] == 0b0110
+        run(cpu, "bic r0, r1, r2")
+        assert cpu.regs[0] == 0b0100
+
+    def test_shifted_operands(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 1
+        run(cpu, "mov r0, r1, lsl #4")
+        assert cpu.regs[0] == 16
+        cpu.regs[1] = 0x80000000
+        run(cpu, "mov r0, r1, lsr #31")
+        assert cpu.regs[0] == 1
+        run(cpu, "mov r0, r1, asr #31")
+        assert cpu.regs[0] == 0xFFFFFFFF
+        cpu.regs[1] = 0x81
+        run(cpu, "mov r0, r1, ror #1")
+        assert cpu.regs[0] == 0x80000040
+
+    def test_mul_mla(self):
+        cpu = make_cpu()
+        cpu.regs[1], cpu.regs[2], cpu.regs[3] = 6, 7, 100
+        run(cpu, "mul r0, r1, r2")
+        assert cpu.regs[0] == 42
+        run(cpu, "mla r0, r1, r2, r3")
+        assert cpu.regs[0] == 142
+
+    def test_adc_uses_carry(self):
+        cpu = make_cpu()
+        cpu.flags.c = True
+        cpu.regs[1] = 1
+        run(cpu, "adc r0, r1, #1")
+        assert cpu.regs[0] == 3
+
+
+class TestFlags:
+    def test_cmp_equal_sets_z(self):
+        cpu = make_cpu()
+        cpu.regs[0] = 5
+        run(cpu, "cmp r0, #5")
+        assert cpu.flags.z and cpu.flags.c
+
+    def test_cmp_less_sets_n(self):
+        cpu = make_cpu()
+        cpu.regs[0] = 3
+        run(cpu, "cmp r0, #5")
+        assert cpu.flags.n and not cpu.flags.c
+
+    def test_unsigned_carry(self):
+        cpu = make_cpu()
+        cpu.regs[0] = 7
+        run(cpu, "cmp r0, #5")
+        assert cpu.flags.c  # no borrow
+
+    def test_overflow(self):
+        cpu = make_cpu()
+        cpu.regs[0] = 0x7FFFFFFF
+        run(cpu, "adds r1, r0, #1")
+        assert cpu.flags.v and cpu.flags.n
+
+    def test_subs_flags(self):
+        cpu = make_cpu()
+        cpu.regs[0] = 0
+        run(cpu, "subs r1, r0, #1")
+        assert cpu.flags.n and not cpu.flags.c
+
+    def test_tst_teq(self):
+        cpu = make_cpu()
+        cpu.regs[0] = 0b1000
+        run(cpu, "tst r0, #7")
+        assert cpu.flags.z
+        run(cpu, "teq r0, #8")
+        assert cpu.flags.z
+
+    @pytest.mark.parametrize(
+        "cond,n,z,c,v,expected",
+        [
+            ("eq", False, True, False, False, True),
+            ("ne", False, True, False, False, False),
+            ("lt", True, False, False, False, True),
+            ("lt", False, False, False, True, True),
+            ("ge", True, False, False, True, True),
+            ("gt", False, False, False, False, True),
+            ("le", False, True, False, False, True),
+            ("hi", False, False, True, False, True),
+            ("ls", False, False, True, False, False),
+            ("al", True, True, True, True, True),
+        ],
+    )
+    def test_condition_table(self, cond, n, z, c, v, expected):
+        flags = Flags(n=n, z=z, c=c, v=v)
+        assert flags.passes(cond) is expected
+
+    def test_conditional_skip(self):
+        cpu = make_cpu()
+        cpu.regs[0] = 0
+        run(cpu, "cmp r0, #1", "moveq r1, #7")
+        assert cpu.regs[1] == 0  # not equal: skipped
+        run(cpu, "cmp r0, #0", "moveq r1, #7")
+        assert cpu.regs[1] == 7
+
+
+class TestMemoryAccess:
+    def test_ldr_str(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 0x1000
+        cpu.regs[0] = 0xCAFEBABE
+        run(cpu, "str r0, [r1, #4]")
+        assert cpu.memory.load_word(0x1004) == 0xCAFEBABE
+        run(cpu, "ldr r2, [r1, #4]")
+        assert cpu.regs[2] == 0xCAFEBABE
+
+    def test_byte_access(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 0x1000
+        cpu.regs[0] = 0x1FF
+        run(cpu, "strb r0, [r1]")
+        assert cpu.memory.load_word(0x1000) == 0xFF
+        run(cpu, "ldrb r2, [r1]")
+        assert cpu.regs[2] == 0xFF
+
+    def test_post_index_writeback(self):
+        cpu = make_cpu()
+        cpu.memory.store_word(0x1000, 111)
+        cpu.regs[1] = 0x1000
+        run(cpu, "ldr r0, [r1], #4")
+        assert cpu.regs[0] == 111
+        assert cpu.regs[1] == 0x1004
+
+    def test_pre_index_writeback(self):
+        cpu = make_cpu()
+        cpu.memory.store_word(0x1004, 222)
+        cpu.regs[1] = 0x1000
+        run(cpu, "ldr r0, [r1, #4]!")
+        assert cpu.regs[0] == 222
+        assert cpu.regs[1] == 0x1004
+
+    def test_register_offset(self):
+        cpu = make_cpu()
+        cpu.memory.store_word(0x1010, 333)
+        cpu.regs[1], cpu.regs[2] = 0x1000, 0x10
+        run(cpu, "ldr r0, [r1, r2]")
+        assert cpu.regs[0] == 333
+
+    def test_push_pop(self):
+        cpu = make_cpu()
+        cpu.regs[SP] = 0x2000
+        cpu.regs[4], cpu.regs[5] = 44, 55
+        run(cpu, "push {r4, r5}")
+        assert cpu.regs[SP] == 0x1FF8
+        cpu.regs[4] = cpu.regs[5] = 0
+        run(cpu, "pop {r4, r5}")
+        assert (cpu.regs[4], cpu.regs[5]) == (44, 55)
+        assert cpu.regs[SP] == 0x2000
+
+
+class TestControlFlow:
+    def test_bx(self):
+        cpu = make_cpu()
+        cpu.regs[3] = 0x9000
+        cpu.regs[PC] = 0x8000
+        cpu.step(parse_instruction("bx r3"))
+        assert cpu.regs[PC] == 0x9000
+
+    def test_mov_pc_lr(self):
+        cpu = make_cpu()
+        cpu.regs[LR] = 0x8765 & ~3
+        cpu.regs[PC] = 0x8000
+        cpu.step(parse_instruction("mov pc, lr"))
+        assert cpu.regs[PC] == cpu.regs[LR]
+
+    def test_pop_pc(self):
+        cpu = make_cpu()
+        cpu.regs[SP] = 0x2000
+        cpu.memory.store_word(0x2000, 0xABC0)
+        cpu.step(parse_instruction("pop {pc}"))
+        assert cpu.regs[PC] == 0xABC0
+        assert cpu.regs[SP] == 0x2004
+
+    def test_bl_sets_lr(self):
+        cpu = make_cpu()
+        cpu.regs[PC] = 0x8000
+        cpu.step(parse_instruction("bl loc_00009000"))
+        assert cpu.regs[PC] == 0x9000
+        assert cpu.regs[LR] == 0x8004
+
+    def test_pc_reads_plus_8(self):
+        cpu = make_cpu()
+        cpu.regs[PC] = 0x8000
+        cpu.step(parse_instruction("mov r0, pc"))
+        assert cpu.regs[0] == 0x8008

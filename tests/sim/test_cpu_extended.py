@@ -1,0 +1,112 @@
+"""Extended CPU semantics: borrow chains, rotations, predication."""
+
+import pytest
+
+from repro.isa.assembler import parse_instruction
+from repro.isa.registers import PC
+from repro.sim.cpu import CPU
+from repro.sim.memory import Memory
+
+
+def make_cpu():
+    return CPU(Memory(), syscall=lambda n, c: None)
+
+
+def run(cpu, *texts):
+    for text in texts:
+        cpu.regs[PC] = 0x8000
+        cpu.step(parse_instruction(text))
+
+
+class TestCarryChains:
+    def test_sbc_no_borrow(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 10
+        run(cpu, "subs r2, r1, #3", "sbc r3, r1, #3")
+        # subs set C (no borrow): sbc behaves like sub
+        assert cpu.regs[3] == 7
+
+    def test_sbc_with_borrow(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 1
+        run(cpu, "subs r2, r1, #3")     # borrow: C clear
+        cpu.regs[1] = 10
+        run(cpu, "sbc r3, r1, #3")
+        assert cpu.regs[3] == 6         # 10 - 3 - 1
+
+    def test_rsc(self):
+        cpu = make_cpu()
+        cpu.flags.c = True
+        cpu.regs[1] = 3
+        run(cpu, "rsc r0, r1, #10")
+        assert cpu.regs[0] == 7
+
+    def test_64bit_add_idiom(self):
+        # adds/adc implements 64-bit addition
+        cpu = make_cpu()
+        cpu.regs[0], cpu.regs[1] = 0xFFFFFFFF, 0x1   # low words
+        cpu.regs[2], cpu.regs[3] = 0x2, 0x3          # high words
+        run(cpu, "adds r4, r0, r1", "adc r5, r2, r3")
+        assert cpu.regs[4] == 0
+        assert cpu.regs[5] == 6
+
+
+class TestPredication:
+    @pytest.mark.parametrize(
+        "setup,cond,taken",
+        [
+            ("cmp r1, #5", "eq", True),
+            ("cmp r1, #5", "ne", False),
+            ("cmp r1, #9", "lt", True),
+            ("cmp r1, #3", "gt", True),
+            ("cmp r1, #9", "ls", True),   # 5 <= 9 unsigned
+            ("cmp r1, #3", "hi", True),   # 5 > 3 unsigned
+            ("cmn r1, #5", "pl", True),   # 5 + 5 positive
+        ],
+    )
+    def test_predicated_mov(self, setup, cond, taken):
+        cpu = make_cpu()
+        cpu.regs[1] = 5
+        run(cpu, setup, f"mov{cond} r0, #1")
+        assert (cpu.regs[0] == 1) is taken
+
+    def test_predicated_memory_op_skipped(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 0x1000
+        cpu.regs[0] = 0
+        run(cpu, "cmp r0, #1", "streq r0, [r1]")
+        assert cpu.memory.load_word(0x1000) == 0
+
+    def test_predicated_skip_does_not_touch_flags(self):
+        cpu = make_cpu()
+        run(cpu, "cmp r0, #0")          # Z set
+        run(cpu, "addnes r1, r1, #1")   # skipped: flags unchanged
+        assert cpu.flags.z
+
+
+class TestShifterEdgeCases:
+    def test_ror(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 0x0000_00F0
+        run(cpu, "mov r0, r1, ror #4")
+        assert cpu.regs[0] == 0x0000_000F
+
+    def test_asr_sign_extension(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 0x8000_0000
+        run(cpu, "mov r0, r1, asr #4")
+        assert cpu.regs[0] == 0xF800_0000
+
+    def test_lsl_drops_high_bits(self):
+        cpu = make_cpu()
+        cpu.regs[1] = 0xFFFF_FFFF
+        run(cpu, "mov r0, r1, lsl #16")
+        assert cpu.regs[0] == 0xFFFF_0000
+
+    def test_shifted_operand_in_arithmetic(self):
+        cpu = make_cpu()
+        cpu.regs[1], cpu.regs[2] = 100, 3
+        run(cpu, "add r0, r1, r2, lsl #2")
+        assert cpu.regs[0] == 112
+        run(cpu, "sub r0, r1, r2, lsl #1")
+        assert cpu.regs[0] == 94

@@ -1,0 +1,83 @@
+"""Whole-machine execution: syscalls, exit paths, error handling."""
+
+import pytest
+
+from repro.sim.machine import ExecutionError
+
+from tests.conftest import run_asm
+
+
+def test_exit_code():
+    result = run_asm("_start:\n mov r0, #42\n swi #0\n")
+    assert result.exit_code == 42
+    assert result.output == b""
+
+
+def test_putc():
+    result = run_asm(
+        """
+        _start:
+            mov r0, #72
+            swi #1
+            mov r0, #105
+            swi #1
+            mov r0, #0
+            swi #0
+        """
+    )
+    assert result.output == b"Hi"
+
+
+def test_print_int_syscall():
+    result = run_asm(
+        """
+        _start:
+            mvn r0, #41
+            swi #2
+            mov r0, #0
+            swi #0
+        """
+    )
+    assert result.output == b"-42"
+
+
+def test_exit_via_sentinel_return():
+    # returning from _start exits with r0
+    result = run_asm("_start:\n mov r0, #9\n mov pc, lr\n")
+    assert result.exit_code == 9
+
+
+def test_step_budget():
+    with pytest.raises(ExecutionError):
+        run_asm("_start:\nspin:\n b spin\n", max_steps=1000)
+
+
+def test_unknown_syscall():
+    with pytest.raises(ExecutionError):
+        run_asm("_start:\n swi #99\n swi #0\n")
+
+
+def test_call_and_return():
+    result = run_asm(
+        """
+        _start:
+            mov r0, #5
+            bl double
+            swi #0
+        double:
+            add r0, r0, r0
+            mov pc, lr
+        """
+    )
+    assert result.exit_code == 10
+
+
+def test_steps_counted():
+    # the exiting swi aborts mid-step and is not counted
+    result = run_asm("_start:\n mov r0, #0\n swi #0\n")
+    assert result.steps == 1
+
+
+def test_exit_code_is_low_byte():
+    result = run_asm("_start:\n mov r0, #0x1F0\n swi #0\n")
+    assert result.exit_code == 0xF0

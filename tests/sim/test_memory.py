@@ -1,0 +1,65 @@
+"""Simulator memory: byte/word access, endianness, page boundaries."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.memory import PAGE_SIZE, Memory
+
+
+def test_zero_initialized():
+    mem = Memory()
+    assert mem.load_word(0x8000) == 0
+    assert mem.load_byte(12345) == 0
+
+
+def test_little_endian():
+    mem = Memory()
+    mem.store_word(0x100, 0x11223344)
+    assert mem.load_byte(0x100) == 0x44
+    assert mem.load_byte(0x101) == 0x33
+    assert mem.load_byte(0x102) == 0x22
+    assert mem.load_byte(0x103) == 0x11
+
+
+def test_byte_store_masks():
+    mem = Memory()
+    mem.store_byte(0x10, 0x1FF)
+    assert mem.load_byte(0x10) == 0xFF
+
+
+def test_word_store_masks():
+    mem = Memory()
+    mem.store_word(0x10, 0x1_2345_6789)
+    assert mem.load_word(0x10) == 0x23456789
+
+
+def test_page_boundary_word():
+    mem = Memory()
+    addr = PAGE_SIZE - 2
+    mem.store_word(addr, 0xAABBCCDD)
+    assert mem.load_word(addr) == 0xAABBCCDD
+    assert mem.load_byte(PAGE_SIZE - 1) == 0xCC
+    assert mem.load_byte(PAGE_SIZE) == 0xBB
+
+
+def test_write_words_bulk():
+    mem = Memory()
+    mem.write_words(0x200, [1, 2, 3])
+    assert [mem.load_word(0x200 + 4 * i) for i in range(3)] == [1, 2, 3]
+
+
+@given(
+    st.integers(0, 2**22),
+    st.integers(0, 0xFFFFFFFF),
+)
+def test_word_roundtrip(addr, value):
+    mem = Memory()
+    mem.store_word(addr, value)
+    assert mem.load_word(addr) == value
+
+
+@given(st.integers(0, 2**22), st.integers(0, 255))
+def test_byte_roundtrip(addr, value):
+    mem = Memory()
+    mem.store_byte(addr, value)
+    assert mem.load_byte(addr) == value

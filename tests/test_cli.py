@@ -1,0 +1,94 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def mini_c(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(
+        "int main() { print_int(6 * 7); print_nl(0); return 3; }"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def assembly(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(
+        """
+        _start:
+            mov r0, #9
+            swi #2
+            mov r0, #0
+            swi #0
+        """
+    )
+    return str(path)
+
+
+def test_compile(mini_c, capsys):
+    assert main(["compile", mini_c]) == 0
+    out = capsys.readouterr().out
+    assert "main:" in out and "bl main" in out
+
+
+def test_run_mini_c(mini_c, capsys):
+    code = main(["run", mini_c])
+    assert code == 3
+    assert capsys.readouterr().out == "42\n"
+
+
+def test_run_assembly(assembly, capsys):
+    code = main(["run", assembly])
+    assert code == 0
+    assert capsys.readouterr().out == "9"
+
+
+def test_pa_reports_and_verifies(tmp_path, capsys):
+    path = tmp_path / "dup.s"
+    path.write_text(
+        """
+        _start:
+            bl f1
+            bl f2
+            mov r0, #0
+            swi #0
+        f1:
+            push {r4, lr}
+            mov r1, #3
+            add r2, r1, #5
+            mul r3, r2, r1
+            eor r4, r3, r2
+            mov r0, r4
+            pop {r4, pc}
+        f2:
+            push {r4, lr}
+            mov r1, #3
+            add r2, r1, #5
+            mul r3, r2, r1
+            eor r4, r3, r2
+            add r0, r4, #1
+            pop {r4, pc}
+        """
+    )
+    out_path = tmp_path / "out.s"
+    code = main(["pa", str(path), "--engine", "edgar",
+                 "-o", str(out_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "saved" in out and "[OK]" in out
+    assert out_path.exists()
+    assert "pa_" in out_path.read_text()
+
+
+def test_stats_on_workload(capsys):
+    assert main(["stats", "crc"]) == 0
+    assert "degree" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

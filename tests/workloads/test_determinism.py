@@ -1,0 +1,40 @@
+"""Workload determinism and reference self-consistency."""
+
+import pytest
+
+from repro.binary.layout import layout
+from repro.sim.machine import run_image
+from repro.workloads import PROGRAMS, compile_workload
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_compilation_is_deterministic(name):
+    a = compile_workload(name).render()
+    b = compile_workload(name).render()
+    assert a == b
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_reference_output_is_pure(name):
+    workload = PROGRAMS[name]
+    assert workload.expected_output() == workload.expected_output()
+
+
+def test_execution_is_deterministic():
+    image = layout(compile_workload("qsort"))
+    first = run_image(image, max_steps=2_000_000)
+    second = run_image(image, max_steps=2_000_000)
+    assert first.output == second.output
+    assert first.steps == second.steps
+
+
+def test_expected_exit_codes():
+    for workload in PROGRAMS.values():
+        assert workload.expected_exit == 0
+
+
+def test_outputs_are_nontrivial():
+    for workload in PROGRAMS.values():
+        out = workload.expected_output()
+        assert out.endswith("\n")
+        assert len(out) >= 8, workload.name
