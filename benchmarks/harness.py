@@ -15,6 +15,7 @@ import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro import telemetry
 from repro.analysis.tables import Table1Row
 from repro.dfg.builder import build_dfgs
 from repro.dfg.graph import FLOW_KINDS
@@ -73,19 +74,35 @@ class SuiteResults:
 
 
 def run_engine(name: str, engine: str, **overrides) -> Tuple[PAResult, float]:
-    """Run one engine on one workload, verified; returns (result, secs)."""
+    """Run one engine on one workload, verified; returns (result, secs).
+
+    The run is wrapped in a ``bench.engine_run`` telemetry span and its
+    headline numbers are published as a structured event, so a profiled
+    benchmark session exports through the same registry as the CLI.
+    """
     import time
 
     module = compile_workload(name)
     started = time.perf_counter()
-    if engine == "sfx":
-        result = run_sfx(module, SFXConfig(**overrides)
-                         if overrides else None)
-    else:
-        overrides.setdefault("time_budget", 180.0)
-        result = run_pa(module, PAConfig(miner=engine, **overrides))
+    with telemetry.span("bench.engine_run", workload=name, engine=engine):
+        if engine == "sfx":
+            result = run_sfx(module, SFXConfig(**overrides)
+                             if overrides else None)
+        else:
+            overrides.setdefault("time_budget", 180.0)
+            result = run_pa(module, PAConfig(miner=engine, **overrides))
     elapsed = time.perf_counter() - started
     verify_workload(name, module)
+    telemetry.count("bench.engine_runs")
+    telemetry.event(
+        "bench.engine_run",
+        workload=name,
+        engine=engine,
+        saved=result.saved,
+        rounds=result.rounds,
+        seconds=elapsed,
+        lattice_nodes=result.lattice_nodes,
+    )
     return result, elapsed
 
 

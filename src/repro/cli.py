@@ -7,15 +7,24 @@ Commands
 ``pa``        run procedural abstraction on a program and report savings
 ``table1``    regenerate the paper's Table 1 on the bundled workloads
 ``stats``     DFG fan statistics for a program (Tables 2/3 style)
+``profile``   run a workload under telemetry and print the phase tree
+
+``pa``, ``table1`` and ``profile`` accept ``--trace-out FILE`` (Chrome
+``trace_event`` JSON, viewable in ``chrome://tracing`` / Perfetto) and
+``--stats-out FILE`` (flat stats JSON: counters, histogram and span
+summaries, structured events).  ``table1 --json FILE`` writes the same
+stats schema with one ``table1.row`` event per workload/engine cell.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Optional
 
+from repro import telemetry
 from repro.analysis.tables import Table1Row, format_table1, format_table2
 from repro.binary.blocks import module_from_asm
 from repro.binary.layout import layout
@@ -39,6 +48,63 @@ def _load_module(path: str, assembly: bool) -> Module:
     return compile_to_module(source)
 
 
+def _load_source(source: str, assembly: bool) -> Module:
+    """A bundled workload by name, or a mini-C / assembly file."""
+    if source in PROGRAMS:
+        return compile_workload(source)
+    if not os.path.exists(source):
+        sys.exit(
+            f"error: {source!r} is neither a bundled workload "
+            f"({', '.join(sorted(PROGRAMS))}) nor a file"
+        )
+    return _load_module(source, assembly)
+
+
+# ----------------------------------------------------------------------
+# telemetry plumbing shared by pa / table1 / profile
+# ----------------------------------------------------------------------
+def _add_telemetry_args(parser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a Chrome trace_event JSON (chrome://tracing, Perfetto)",
+    )
+    parser.add_argument(
+        "--stats-out", metavar="FILE",
+        help="write counters/histograms/span summaries as JSON",
+    )
+
+
+def _telemetry_begin(args, force: bool = False) -> bool:
+    """Enable + reset the registry when any telemetry output is wanted."""
+    paths = [
+        path for name in ("trace_out", "stats_out", "json")
+        if (path := getattr(args, name, None))
+    ]
+    for path in paths:
+        # fail before the (possibly long) run, not after it
+        directory = os.path.dirname(path) or "."
+        if not os.path.isdir(directory):
+            sys.exit(f"error: output directory does not exist: {path}")
+    wanted = force or bool(paths)
+    if wanted:
+        telemetry.reset()
+        telemetry.enable()
+    return wanted
+
+
+def _telemetry_finish(args) -> None:
+    """Write the requested export files and disable the registry."""
+    registry = telemetry.get()
+    if getattr(args, "trace_out", None):
+        telemetry.write_chrome_trace(registry, args.trace_out)
+        print(f"wrote {args.trace_out}", file=sys.stderr)
+    for path in {getattr(args, "stats_out", None),
+                 getattr(args, "json", None)} - {None}:
+        telemetry.write_stats(registry, path)
+        print(f"wrote {path}", file=sys.stderr)
+    telemetry.disable()
+
+
 def cmd_compile(args) -> int:
     with open(args.source) as handle:
         print(compile_to_asm(handle.read(), schedule=not args.no_schedule))
@@ -55,7 +121,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_pa(args) -> int:
-    module = _load_module(args.source, args.assembly)
+    traced = _telemetry_begin(args)
+    module = _load_source(args.source, args.assembly)
     reference = run_image(layout(module), max_steps=args.max_steps)
     before = module.num_instructions
     if args.engine == "sfx":
@@ -80,10 +147,13 @@ def cmd_pa(args) -> int:
         with open(args.output, "w") as handle:
             handle.write(module.render())
         print(f"wrote {args.output}")
+    if traced:
+        _telemetry_finish(args)
     return 0 if status == "OK" else 1
 
 
 def cmd_table1(args) -> int:
+    traced = _telemetry_begin(args)
     rows = []
     for name in args.programs or sorted(PROGRAMS):
         base = compile_workload(name).num_instructions
@@ -91,27 +161,63 @@ def cmd_table1(args) -> int:
         for engine in ("sfx", "dgspan", "edgar"):
             module = compile_workload(name)
             started = time.perf_counter()
-            if engine == "sfx":
-                run_sfx(module)
-            else:
-                run_pa(module, PAConfig(miner=engine,
-                                        time_budget=args.time_budget))
+            with telemetry.span("table1.cell", workload=name,
+                                engine=engine):
+                if engine == "sfx":
+                    run_sfx(module)
+                else:
+                    run_pa(module, PAConfig(miner=engine,
+                                            time_budget=args.time_budget))
             verify_workload(name, module)
             saved[engine] = base - module.num_instructions
+            elapsed = time.perf_counter() - started
+            telemetry.event(
+                "table1.row",
+                program=name,
+                engine=engine,
+                instructions=base,
+                saved=saved[engine],
+                seconds=elapsed,
+            )
             print(f"  {name}/{engine}: saved {saved[engine]} "
-                  f"({time.perf_counter() - started:.1f}s)",
+                  f"({elapsed:.1f}s)",
                   file=sys.stderr)
         rows.append(Table1Row(name, base, saved["sfx"], saved["dgspan"],
                               saved["edgar"]))
     print(format_table1(rows))
+    if traced:
+        _telemetry_finish(args)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run one workload under full telemetry; print the phase tree."""
+    _telemetry_begin(args, force=True)
+    module = _load_source(args.source, args.assembly)
+    before = module.num_instructions
+    if args.engine == "sfx":
+        result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
+    else:
+        result = run_pa(module, PAConfig(
+            miner=args.engine,
+            max_nodes=args.max_nodes,
+            time_budget=args.time_budget,
+        ))
+    registry = telemetry.get()
+    print(f"{args.source}/{args.engine}: {before} -> "
+          f"{module.num_instructions} instructions "
+          f"(saved {result.saved}) in {result.rounds} rounds, "
+          f"{result.elapsed_seconds:.2f}s")
+    print()
+    print(telemetry.tree_summary(registry))
+    print()
+    print(telemetry.counters_summary(registry))
+    _telemetry_finish(args)
     return 0
 
 
 def cmd_stats(args) -> int:
-    if args.source in PROGRAMS:
-        module = compile_workload(args.source)
-    else:
-        module = _load_module(args.source, args.assembly)
+    module = _load_source(args.source, args.assembly)
     dfgs = build_dfgs(module, min_nodes=1, mined_kinds=FLOW_KINDS)
     summary = fanout_summary(dfgs)
     print(format_table2({args.source: summary}))
@@ -138,7 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("pa", help="run procedural abstraction")
-    p.add_argument("source")
+    p.add_argument("source", help="workload name or source path")
     p.add_argument("--engine", choices=("sfx", "dgspan", "edgar"),
                    default="edgar")
     p.add_argument("--assembly", action="store_true")
@@ -146,13 +252,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-budget", type=float, default=600.0)
     p.add_argument("--max-steps", type=int, default=50_000_000)
     p.add_argument("-o", "--output", help="write the compacted assembly")
+    _add_telemetry_args(p)
     p.set_defaults(func=cmd_pa)
 
     p = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p.add_argument("programs", nargs="*",
                    help=f"subset of: {', '.join(sorted(PROGRAMS))}")
     p.add_argument("--time-budget", type=float, default=180.0)
+    p.add_argument("--json", metavar="FILE",
+                   help="write rows + telemetry as stats JSON")
+    _add_telemetry_args(p)
     p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a workload under telemetry; print the phase-time tree",
+    )
+    p.add_argument("source", help="workload name or source path")
+    p.add_argument("--engine", choices=("sfx", "dgspan", "edgar"),
+                   default="edgar")
+    p.add_argument("--assembly", action="store_true")
+    p.add_argument("--max-nodes", type=int, default=8)
+    p.add_argument("--time-budget", type=float, default=600.0)
+    _add_telemetry_args(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("stats", help="DFG fan statistics (Table 2 style)")
     p.add_argument("source", help="workload name or source path")

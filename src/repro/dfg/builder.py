@@ -29,6 +29,7 @@ from repro.isa.instructions import Instruction
 
 from repro.binary.program import BasicBlock, Function, Module
 from repro.dfg.graph import DFG, Edge, MINED_KINDS
+from repro.telemetry import GLOBAL as _TELEMETRY
 
 #: Pseudo-resources used alongside register numbers.
 FLAGS = "flags"
@@ -117,13 +118,20 @@ def build_dfgs(
     *include_exempt* is set.
     """
     dfgs: List[DFG] = []
-    for func in module.functions:
-        if func.pa_exempt and not include_exempt:
-            continue
-        for bi, block in enumerate(func.blocks):
-            if len(block.instructions) < min_nodes:
+    with _TELEMETRY.span("dfg.build"):
+        for func in module.functions:
+            if func.pa_exempt and not include_exempt:
                 continue
-            dfgs.append(
-                build_dfg(block, origin=(func.name, bi), mined_kinds=mined_kinds)
-            )
+            for bi, block in enumerate(func.blocks):
+                if len(block.instructions) < min_nodes:
+                    continue
+                dfgs.append(
+                    build_dfg(block, origin=(func.name, bi),
+                              mined_kinds=mined_kinds)
+                )
+    if _TELEMETRY.enabled:
+        _TELEMETRY.count("dfg.builds")
+        _TELEMETRY.count("dfg.graphs", len(dfgs))
+        _TELEMETRY.count("dfg.nodes", sum(d.num_nodes for d in dfgs))
+        _TELEMETRY.count("dfg.edges", sum(len(d.dep_edges) for d in dfgs))
     return dfgs

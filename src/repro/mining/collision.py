@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.mining.embeddings import Embedding
+from repro.telemetry import GLOBAL as _TELEMETRY
 
 
 def build_collision_graph(
@@ -35,6 +36,12 @@ def build_collision_graph(
                 if set_i & embeddings[j].node_set:
                     adjacency[i].append(j)
                     adjacency[j].append(i)
+    if _TELEMETRY.enabled and embeddings:
+        _TELEMETRY.observe("collision.graph_size", len(embeddings))
+        _TELEMETRY.observe(
+            "collision.graph_edges",
+            sum(len(neighbors) for neighbors in adjacency) // 2,
+        )
     return adjacency
 
 

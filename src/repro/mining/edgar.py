@@ -28,6 +28,7 @@ from repro.mining.embeddings import Embedding, dedupe_by_node_set
 from repro.mining.gspan import DgSpan, Fragment, MiningDB
 from repro.mining.mis import max_independent_set
 from repro.mining.pruning import is_permanently_illegal, never_convex_within
+from repro.telemetry import GLOBAL as _TELEMETRY
 
 
 #: Collision-graph construction is quadratic per graph; beyond this many
@@ -49,6 +50,9 @@ def non_overlapping_embeddings(
             continue
         per_graph[emb.graph] = count + 1
         capped.append(emb)
+    if _TELEMETRY.enabled:
+        _TELEMETRY.count("mis.overlap_resolutions")
+        _TELEMETRY.count("mis.capped_embeddings", len(unique) - len(capped))
     adjacency = build_collision_graph(capped)
     chosen = max_independent_set(adjacency, exact_limit=exact_limit)
     return [capped[i] for i in chosen]
@@ -89,6 +93,10 @@ class Edgar(DgSpan):
             )
             and not is_permanently_illegal(db.dfgs[emb.graph], emb.nodes)
         ]
+        if len(kept) != len(embeddings):
+            _TELEMETRY.count(
+                "mining.pa_pruned_embeddings", len(embeddings) - len(kept)
+            )
         return kept
 
     # ------------------------------------------------------------------

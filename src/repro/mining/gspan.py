@@ -31,6 +31,7 @@ from repro.mining.dfs_code import (
     _used_edges,
 )
 from repro.mining.embeddings import Embedding, dedupe_by_node_set
+from repro.telemetry import GLOBAL as _TELEMETRY
 
 
 class _DeadlineReached(Exception):
@@ -233,12 +234,16 @@ class DgSpan:
             return (-graphs, -len(embeddings), edge_sort_key(tup))
 
         try:
-            for tup in sorted(seeds, key=seed_order):
-                code = (tup,)
-                if is_min(code):
-                    self._search(db, code, seeds[tup], results)
+            with _TELEMETRY.span("mining.mine", graphs=len(db.graphs),
+                                 seeds=len(seeds),
+                                 max_nodes=self.max_nodes):
+                for tup in sorted(seeds, key=seed_order):
+                    code = (tup,)
+                    if is_min(code):
+                        self._search(db, code, seeds[tup], results)
         except _DeadlineReached:
             self.deadline_hit = True
+            _TELEMETRY.count("mining.deadline_hits")
         return results
 
     # ------------------------------------------------------------------
@@ -256,17 +261,35 @@ class DgSpan:
             # blocks with many repeated labels: keep a deterministic
             # prefix (a sound undercount of frequency and benefit).
             self.truncated_branches += 1
+            _TELEMETRY.count("mining.truncated_branches")
             embeddings = embeddings[: self.max_embeddings]
         embeddings = self._filter_embeddings(db, code, embeddings)
-        if not self._is_frequent(db, embeddings):
+        if _TELEMETRY.enabled:
+            support_started = time.perf_counter()
+            frequent = self._is_frequent(db, embeddings)
+            _TELEMETRY.observe(
+                "mining.support_check_seconds",
+                time.perf_counter() - support_started,
+            )
+        else:
+            frequent = self._is_frequent(db, embeddings)
+        if not frequent:
+            _TELEMETRY.count("mining.infrequent_prunes")
             return
         if self.prune_subtree is not None:
             occurrence_bound = self._occurrence_bound(db, code, embeddings)
             if self.prune_subtree(self.max_nodes, occurrence_bound):
+                _TELEMETRY.count("mining.subtree_prunes")
                 return
         self.visited_nodes += 1
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("mining.lattice_nodes")
+            _TELEMETRY.count(
+                "mining.embeddings_enumerated", len(embeddings)
+            )
         num_nodes = code_num_nodes(code)
         if num_nodes >= self.min_nodes:
+            _TELEMETRY.count("mining.fragments_reported")
             fragment = self._fragment(db, code, embeddings)
             if self.on_fragment is not None:
                 self.on_fragment(fragment)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.mining.collision import connected_components
+from repro.telemetry import GLOBAL as _TELEMETRY
 
 #: Components larger than this fall back to the greedy heuristic; the
 #: exact search is exponential in the worst case.
@@ -123,7 +124,7 @@ def _exact_component(vertices: List[int],
     try:
         expand([], full)
     except _BudgetExhausted:
-        pass
+        _TELEMETRY.count("mis.budget_exhausted")
     return [vertices[k] for k in best]
 
 
@@ -140,12 +141,27 @@ def max_independent_set(
     ablation mode.
     """
     result: List[int] = []
+    telemetry_on = _TELEMETRY.enabled
+    if telemetry_on:
+        # pre-register the decision counters so exports always carry
+        # them, even on runs where one branch is never taken
+        _TELEMETRY.count("mis.exact_components", 0)
+        _TELEMETRY.count("mis.greedy_components", 0)
+        _TELEMETRY.count("mis.singleton_components", 0)
     for component in connected_components(list(map(list, adjacency))):
+        if telemetry_on:
+            _TELEMETRY.observe("mis.component_size", len(component))
         if len(component) == 1:
+            if telemetry_on:
+                _TELEMETRY.count("mis.singleton_components")
             result.extend(component)
         elif len(component) <= exact_limit:
+            if telemetry_on:
+                _TELEMETRY.count("mis.exact_components")
             result.extend(_exact_component(component, adjacency))
         else:
+            if telemetry_on:
+                _TELEMETRY.count("mis.greedy_components")
             sub_index = {v: k for k, v in enumerate(component)}
             sub_adj = [
                 [sub_index[u] for u in adjacency[v] if u in sub_index]

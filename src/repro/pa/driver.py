@@ -19,6 +19,7 @@ from repro.dfg.builder import build_dfgs
 from repro.dfg.graph import FLOW_KINDS, MINED_KINDS
 from repro.mining.edgar import Edgar, non_overlapping_embeddings
 from repro.mining.gspan import DgSpan
+from repro.telemetry import GLOBAL as _TELEMETRY
 
 from repro.pa.extract import (
     call_site_feasible,
@@ -167,6 +168,7 @@ def collect_candidates(module: Module, config: PAConfig,
         return best_possible_benefit(size_cap, occurrence_bound) <= floor()
 
     def consider(frag) -> None:
+        _TELEMETRY.count("pa.candidates.considered")
         per_graph = {}
         for emb in frag.embeddings:
             per_graph[emb.graph] = per_graph.get(emb.graph, 0) + 1
@@ -176,6 +178,7 @@ def collect_candidates(module: Module, config: PAConfig,
         )
         bound = best_possible_benefit(frag.num_nodes, occ_bound)
         if bound <= floor():
+            _TELEMETRY.count("pa.candidates.skipped_floor")
             return
         if len(frag.embeddings) > 1000:
             # per-embedding legality below costs a reachability sweep
@@ -184,6 +187,7 @@ def collect_candidates(module: Module, config: PAConfig,
             frag.embeddings = frag.embeddings[:1000]
         method, legal = legal_embeddings(dfgs, frag)
         if method is None or len(legal) < 2:
+            _TELEMETRY.count("pa.candidates.skipped_illegal")
             return
         if method is ExtractionMethod.CALL:
             legal = [
@@ -192,19 +196,23 @@ def collect_candidates(module: Module, config: PAConfig,
                 and call_site_feasible(dfgs[e.graph], e.nodes)
             ]
             if len(legal) < 2:
+                _TELEMETRY.count("pa.candidates.skipped_lr_infeasible")
                 return
         disjoint = non_overlapping_embeddings(
             legal, exact_limit=config.mis_exact_limit
         )
         kept, union = order_consistent_subset(dfgs, disjoint)
         if len(kept) < 2:
+            _TELEMETRY.count("pa.candidates.skipped_order")
             return
         witness = kept[0]
         insns = [dfgs[witness.graph].insns[n] for n in witness.nodes]
         origins = tuple(sorted({dfgs[e.graph].origin for e in kept}))
         candidate = score(frag, method, insns, kept, union, origins)
         if candidate is None:
+            _TELEMETRY.count("pa.candidates.skipped_unprofitable")
             return
+        _TELEMETRY.count("pa.candidates.scored")
         collected.append(candidate)
         if best[0] is None or candidate.sort_key() < best[0].sort_key():
             best[0] = candidate
@@ -221,17 +229,20 @@ def collect_candidates(module: Module, config: PAConfig,
             saved_max = miner.max_nodes
             miner.max_nodes = 3
             try:
-                miner.mine(dfgs)
+                with _TELEMETRY.span("pa.mine.shallow"):
+                    miner.mine(dfgs)
             finally:
                 miner.max_nodes = saved_max
-        miner.mine(dfgs)
+        with _TELEMETRY.span("pa.mine.full"):
+            miner.mine(dfgs)
         if config.flow_pass and FLOW_KINDS != config.mined_kinds:
             # Second pass on the data-flow projection; block order and
             # node numbering are identical, so embeddings transfer
             # directly and legality still checks the full dep_edges.
             flow_dfgs = build_dfgs(module, min_nodes=0,
                                    mined_kinds=FLOW_KINDS)
-            miner.mine(flow_dfgs)
+            with _TELEMETRY.span("pa.mine.flow"):
+                miner.mine(flow_dfgs)
     finally:
         miner.prune_subtree = None
         miner.on_fragment = None
@@ -248,11 +259,18 @@ def best_candidate(module: Module, config: PAConfig,
 
 
 def apply_candidate(module: Module, config: PAConfig,
-                    candidate: Candidate) -> ExtractionRecord:
-    """Extract one *candidate* from *module*; returns the step record."""
+                    candidate: Candidate,
+                    round: int = 0) -> ExtractionRecord:
+    """Extract one *candidate* from *module*; returns the step record.
+
+    *round* stamps the returned record (``run_pa`` passes the loop
+    index; direct callers get a well-formed record instead of the old
+    ``-1`` placeholder).
+    """
     records, __, ___ = apply_batch(module, config, [candidate])
     if not records:
         raise RuntimeError("candidate could not be applied")
+    records[0].round = round
     return records[0]
 
 
@@ -279,6 +297,7 @@ def apply_batch(module: Module, config: PAConfig,
             origin in touched_blocks or origin[0] in touched_functions
             for origin in origins
         ):
+            _TELEMETRY.count("pa.candidates.skipped_conflict")
             continue
         before = module.num_instructions
         if candidate.method is ExtractionMethod.CALL:
@@ -322,6 +341,16 @@ def run_pa(module: Module, config: Optional[PAConfig] = None) -> PAResult:
     result for convenience.
     """
     config = config or PAConfig()
+    with _TELEMETRY.span("pa.run", miner=config.miner):
+        result = _run_pa(module, config)
+    if _TELEMETRY.enabled:
+        _TELEMETRY.count("pa.runs")
+        _TELEMETRY.count("pa.instructions.saved", result.saved)
+        _TELEMETRY.count("pa.lattice_nodes", result.lattice_nodes)
+    return result
+
+
+def _run_pa(module: Module, config: PAConfig) -> PAResult:
     started = time.perf_counter()
     result = PAResult(
         module=module,
@@ -335,20 +364,53 @@ def run_pa(module: Module, config: Optional[PAConfig] = None) -> PAResult:
     carryover: List[Candidate] = []
     for round_index in range(config.max_rounds):
         miner = _make_miner(config)
-        candidates = collect_candidates(module, config, miner=miner,
-                                        warm=carryover, deadline=deadline)
-        result.lattice_nodes += miner.visited_nodes
-        if not candidates:
-            break
-        if not config.batch:
-            candidates = candidates[:1]
-        records, touched_blocks, touched_functions = apply_batch(
-            module, config, candidates
-        )
-        if not records:
-            break
-        for record in records:
-            record.round = round_index
+        with _TELEMETRY.span("pa.round", round=round_index):
+            mine_started = time.perf_counter()
+            with _TELEMETRY.span("pa.collect", round=round_index):
+                candidates = collect_candidates(
+                    module, config, miner=miner,
+                    warm=carryover, deadline=deadline,
+                )
+            mine_seconds = time.perf_counter() - mine_started
+            result.lattice_nodes += miner.visited_nodes
+            _TELEMETRY.count("pa.carryover.candidates", len(carryover))
+            if not candidates:
+                break
+            if not config.batch:
+                candidates = candidates[:1]
+            with _TELEMETRY.span("pa.apply", round=round_index):
+                records, touched_blocks, touched_functions = apply_batch(
+                    module, config, candidates
+                )
+            if not records:
+                break
+            for record in records:
+                record.round = round_index
+            if _TELEMETRY.enabled:
+                _TELEMETRY.count("pa.rounds")
+                _TELEMETRY.count("pa.candidates.applied", len(records))
+                _TELEMETRY.event(
+                    "pa.round",
+                    round=round_index,
+                    mine_seconds=mine_seconds,
+                    lattice_nodes=miner.visited_nodes,
+                    candidates=len(candidates),
+                    applied=len(records),
+                    carryover=len(carryover),
+                )
+                for record in records:
+                    _TELEMETRY.observe(
+                        "pa.extraction.benefit", record.benefit
+                    )
+                    _TELEMETRY.event(
+                        "pa.extraction",
+                        round=record.round,
+                        method=record.method,
+                        size=record.size,
+                        occurrences=record.occurrences,
+                        benefit=record.benefit,
+                        new_symbol=record.new_symbol,
+                    )
         result.records.extend(records)
         result.rounds = round_index + 1
         # Candidates whose blocks survived this round untouched remain

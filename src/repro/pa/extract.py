@@ -33,6 +33,7 @@ from repro.dfg.linearize import (
     topological_order,
 )
 from repro.mining.embeddings import Embedding
+from repro.telemetry import GLOBAL as _TELEMETRY
 
 
 class ExtractionError(RuntimeError):
@@ -212,6 +213,9 @@ def extract_call(
     """
     if name is None:
         name = module.fresh_label("pa")
+    if _TELEMETRY.enabled:
+        _TELEMETRY.count("extract.calls")
+        _TELEMETRY.count("extract.call_sites", len(embeddings))
     ordered = body_order(insns, union_edges)
     contains_call = any(i.is_call for i in ordered)
     body: List[Instruction] = []
@@ -258,6 +262,9 @@ def extract_crossjump(
         label = module.fresh_label("tail")
     if not embeddings:
         raise ExtractionError("cross jump needs at least one occurrence")
+    if _TELEMETRY.enabled:
+        _TELEMETRY.count("extract.crossjumps")
+        _TELEMETRY.count("extract.crossjump_sites", len(embeddings))
     # The control transfer must close the shared tail even when nothing
     # data-depends on it (an unconditional ``b`` reads no registers).
     term_roles = [

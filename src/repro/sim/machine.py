@@ -27,6 +27,7 @@ from repro.isa.registers import LR, PC, SP
 from repro.binary.image import STACK_TOP, Image
 from repro.sim.cpu import CPU, CPUError, to_signed
 from repro.sim.memory import Memory
+from repro.telemetry import GLOBAL as _TELEMETRY
 
 #: Returning to this address terminates the program.
 EXIT_SENTINEL = 0xFFFF0000
@@ -121,9 +122,13 @@ class Machine:
                         f"step budget exhausted after {steps} instructions"
                     )
         except _ExitProgram as exit_:
+            if _TELEMETRY.enabled:
+                _TELEMETRY.count("sim.runs")
+                _TELEMETRY.count("sim.steps", steps)
             return RunResult(exit_.status, bytes(self.output), steps)
 
 
 def run_image(image: Image, max_steps: int = 50_000_000) -> RunResult:
     """Convenience wrapper: execute *image* and return the result."""
-    return Machine(image, max_steps=max_steps).run()
+    with _TELEMETRY.span("sim.run"):
+        return Machine(image, max_steps=max_steps).run()

@@ -1,0 +1,78 @@
+"""Metric primitives: counters, gauges, histograms.
+
+All three are name-keyed aggregates held in a process-global registry
+(:mod:`repro.telemetry.core`).  They are deliberately simple — plain
+Python numbers behind one registry lock — because the PA pipeline is
+CPU-bound and single-process; the interesting engineering constraint is
+the *disabled* path (checked before any of this code runs), not the
+enabled one.
+
+========== ==========================================================
+primitive  semantics
+========== ==========================================================
+Counter    monotonically accumulated total (``add``)
+Gauge      last-write-wins sample (``set``)
+Histogram  running aggregate of observations: count / total / min /
+           max (mean is derived); no buckets — the exporters only
+           need summary statistics
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    value: Number = 0
+
+    def add(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins sampled value."""
+
+    value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Running summary of a stream of observations."""
+
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+        }

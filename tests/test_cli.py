@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -84,9 +86,93 @@ def test_pa_reports_and_verifies(tmp_path, capsys):
     assert "pa_" in out_path.read_text()
 
 
+@pytest.fixture
+def duplicated_asm(tmp_path):
+    path = tmp_path / "dup.s"
+    path.write_text(
+        """
+        _start:
+            bl f1
+            bl f2
+            mov r0, #0
+            swi #0
+        f1:
+            push {r4, lr}
+            mov r1, #3
+            add r2, r1, #5
+            mul r3, r2, r1
+            eor r4, r3, r2
+            mov r0, r4
+            pop {r4, pc}
+        f2:
+            push {r4, lr}
+            mov r1, #3
+            add r2, r1, #5
+            mul r3, r2, r1
+            eor r4, r3, r2
+            add r0, r4, #1
+            pop {r4, pc}
+        """
+    )
+    return str(path)
+
+
 def test_stats_on_workload(capsys):
     assert main(["stats", "crc"]) == 0
     assert "degree" in capsys.readouterr().out
+
+
+def test_pa_telemetry_exports(duplicated_asm, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    stats_path = tmp_path / "stats.json"
+    code = main(["pa", duplicated_asm,
+                 "--trace-out", str(trace_path),
+                 "--stats-out", str(stats_path)])
+    assert code == 0
+    events = json.loads(trace_path.read_text())
+    assert any(e.get("ph") == "X" and e["name"] == "pa.run"
+               for e in events)
+    stats = json.loads(stats_path.read_text())
+    assert stats["schema"] == "repro.telemetry.stats/1"
+    assert stats["counters"]["mining.lattice_nodes"] > 0
+    assert stats["counters"]["mining.embeddings_enumerated"] > 0
+    assert "mis.exact_components" in stats["counters"]
+    assert "mis.greedy_components" in stats["counters"]
+    assert any(e["name"] == "pa.round" and "mine_seconds" in e
+               for e in stats["events"])
+    assert any(e["name"] == "pa.extraction" for e in stats["events"])
+
+
+def test_pa_without_telemetry_flags_leaves_registry_empty(duplicated_asm):
+    from repro import telemetry
+
+    telemetry.reset()
+    assert main(["pa", duplicated_asm]) == 0
+    assert telemetry.get().spans == []
+    assert telemetry.get().counters == {}
+
+
+def test_profile_prints_phase_tree(duplicated_asm, capsys):
+    assert main(["profile", duplicated_asm]) == 0
+    out = capsys.readouterr().out
+    assert "pa.run" in out
+    assert "pa.round" in out
+    assert "mining.lattice_nodes" in out
+    assert "saved" in out
+
+
+def test_table1_json_export(tmp_path, capsys):
+    json_path = tmp_path / "table1.json"
+    code = main(["table1", "crc", "--time-budget", "30",
+                 "--json", str(json_path)])
+    assert code == 0
+    stats = json.loads(json_path.read_text())
+    assert stats["schema"] == "repro.telemetry.stats/1"
+    rows = [e for e in stats["events"] if e["name"] == "table1.row"]
+    assert {(r["program"], r["engine"]) for r in rows} == {
+        ("crc", "sfx"), ("crc", "dgspan"), ("crc", "edgar")
+    }
+    assert all(r["seconds"] >= 0 and "saved" in r for r in rows)
 
 
 def test_unknown_command_rejected():
