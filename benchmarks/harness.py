@@ -7,13 +7,32 @@ the unit they actually measure.
 
 Every engine run is verified against the workload's Python reference —
 a benchmark row is only reported for *correct* transformations.
+
+Run as a script, the harness writes a schema-versioned benchmark JSON
+(``repro.bench/1``) for regression tracking::
+
+    PYTHONPATH=src python benchmarks/harness.py --bench-out BENCH_sha.json
+
+``benchmarks/regress.py`` compares two such files with tolerance bands.
 """
 
 from __future__ import annotations
 
+import argparse
 import functools
+import json
+import os
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+if __package__ in (None, ""):
+    # executed as a script: make src/ importable without PYTHONPATH
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     os.pardir, "src"),
+    )
 
 from repro import telemetry
 from repro.analysis.tables import Table1Row
@@ -25,6 +44,16 @@ from repro.workloads import PROGRAMS, compile_workload, verify_workload
 
 #: Engine configurations used for the headline comparison.
 ENGINES = ("sfx", "dgspan", "edgar")
+
+#: Version tag of the ``--bench-out`` JSON schema.
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Default grid for the committed regression baseline.  DgSpan is
+#: excluded: it exhausts its time budget on the larger workloads, so
+#: its savings depend on wall-clock speed — exactly what a regression
+#: baseline must not do.  sfx and edgar terminate deterministically.
+BASELINE_WORKLOADS = ("sha",)
+BASELINE_ENGINES = ("sfx", "edgar")
 
 
 @dataclass
@@ -133,3 +162,75 @@ def workload_dfgs(name: str, flow_only: bool = False):
     if kinds is None:
         return build_dfgs(module, min_nodes=1)
     return build_dfgs(module, min_nodes=1, mined_kinds=kinds)
+
+
+# ----------------------------------------------------------------------
+# benchmark JSON (--bench-out) for regression tracking
+# ----------------------------------------------------------------------
+def bench_results(workloads=BASELINE_WORKLOADS,
+                  engines=BASELINE_ENGINES,
+                  **overrides) -> Dict:
+    """The verified engine grid as a ``repro.bench/1`` document."""
+    doc: Dict = {"schema": BENCH_SCHEMA, "workloads": {}}
+    for name in workloads:
+        entry: Dict = {
+            "instructions": compile_workload(name).num_instructions,
+            "engines": {},
+        }
+        for engine in engines:
+            # sfx is the sequence baseline; PAConfig knobs like
+            # time_budget do not apply to it
+            per_engine = {} if engine == "sfx" else overrides
+            result, elapsed = run_engine(name, engine, **per_engine)
+            entry["engines"][engine] = {
+                "saved": result.saved,
+                "rounds": result.rounds,
+                "calls": result.call_extractions,
+                "crossjumps": result.crossjump_extractions,
+                "instructions_after": result.instructions_after,
+                "seconds": round(elapsed, 3),
+                "lattice_nodes": result.lattice_nodes,
+            }
+            print(f"  {name}/{engine}: saved {result.saved} "
+                  f"in {result.rounds} rounds ({elapsed:.1f}s)",
+                  file=sys.stderr)
+        doc["workloads"][name] = entry
+    return doc
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the verified benchmark grid and write "
+                    "a repro.bench/1 JSON for benchmarks/regress.py",
+    )
+    parser.add_argument(
+        "--bench-out", metavar="FILE", required=True,
+        help="output path (e.g. BENCH_sha.json)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=list(BASELINE_WORKLOADS),
+        choices=sorted(PROGRAMS),
+    )
+    parser.add_argument(
+        "--engines", nargs="+", default=list(BASELINE_ENGINES),
+        choices=ENGINES,
+    )
+    parser.add_argument("--time-budget", type=float, default=180.0)
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite an existing output file")
+    args = parser.parse_args(argv)
+    if os.path.exists(args.bench_out) and not args.force:
+        parser.error(
+            f"refusing to overwrite {args.bench_out} (use --force)"
+        )
+    doc = bench_results(tuple(args.workloads), tuple(args.engines),
+                        time_budget=args.time_budget)
+    with open(args.bench_out, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.bench_out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

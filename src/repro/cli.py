@@ -8,12 +8,20 @@ Commands
 ``table1``    regenerate the paper's Table 1 on the bundled workloads
 ``stats``     DFG fan statistics for a program (Tables 2/3 style)
 ``profile``   run a workload under telemetry and print the phase tree
+``explain``   narrate one abstraction round from the decision ledger
 
 ``pa``, ``table1`` and ``profile`` accept ``--trace-out FILE`` (Chrome
 ``trace_event`` JSON, viewable in ``chrome://tracing`` / Perfetto) and
 ``--stats-out FILE`` (flat stats JSON: counters, histogram and span
 summaries, structured events).  ``table1 --json FILE`` writes the same
 stats schema with one ``table1.row`` event per workload/engine cell.
+Output options refuse to overwrite existing files unless ``--force``.
+
+``pa`` additionally accepts ``--report FILE`` (self-contained HTML run
+report) and ``--ledger-out FILE`` (the decision ledger as JSONL, schema
+``repro.report.ledger/1``), both backed by the provenance records of
+:mod:`repro.report.ledger`; ``explain`` renders the same records as
+text, either by re-running a workload or replaying ``--ledger FILE``.
 """
 
 from __future__ import annotations
@@ -26,6 +34,9 @@ from typing import Optional
 
 from repro import telemetry
 from repro.analysis.tables import Table1Row, format_table1, format_table2
+from repro.report import ledger
+from repro.report.explain import explain_round, explain_run
+from repro.report.html import write_report
 from repro.binary.blocks import module_from_asm
 from repro.binary.layout import layout
 from repro.binary.program import Module
@@ -63,6 +74,10 @@ def _load_source(source: str, assembly: bool) -> Module:
 # ----------------------------------------------------------------------
 # telemetry plumbing shared by pa / table1 / profile
 # ----------------------------------------------------------------------
+#: args attributes that name output files (checked before the run)
+_OUTPUT_ATTRS = ("trace_out", "stats_out", "json", "report", "ledger_out")
+
+
 def _add_telemetry_args(parser) -> None:
     parser.add_argument(
         "--trace-out", metavar="FILE",
@@ -72,24 +87,70 @@ def _add_telemetry_args(parser) -> None:
         "--stats-out", metavar="FILE",
         help="write counters/histograms/span summaries as JSON",
     )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite existing output files",
+    )
+
+
+def _check_output_paths(args) -> list:
+    """Validate every requested output path before the (long) run.
+
+    A missing parent directory or an existing file without ``--force``
+    aborts immediately instead of after minutes of mining.
+    """
+    paths = [
+        path for name in _OUTPUT_ATTRS
+        if (path := getattr(args, name, None))
+    ]
+    for path in paths:
+        directory = os.path.dirname(path) or "."
+        if not os.path.isdir(directory):
+            sys.exit(f"error: output directory does not exist: {path}")
+        if os.path.exists(path) and not getattr(args, "force", False):
+            sys.exit(
+                f"error: refusing to overwrite {path} (use --force)"
+            )
+    return paths
 
 
 def _telemetry_begin(args, force: bool = False) -> bool:
     """Enable + reset the registry when any telemetry output is wanted."""
-    paths = [
-        path for name in ("trace_out", "stats_out", "json")
-        if (path := getattr(args, name, None))
-    ]
-    for path in paths:
-        # fail before the (possibly long) run, not after it
-        directory = os.path.dirname(path) or "."
-        if not os.path.isdir(directory):
-            sys.exit(f"error: output directory does not exist: {path}")
-    wanted = force or bool(paths)
+    _check_output_paths(args)
+    wanted = force or any(
+        getattr(args, name, None)
+        for name in ("trace_out", "stats_out", "json", "report")
+    )
     if wanted:
         telemetry.reset()
         telemetry.enable()
     return wanted
+
+
+def _ledger_begin(args) -> bool:
+    """Enable + reset the decision ledger when provenance is wanted."""
+    wanted = bool(getattr(args, "report", None)
+                  or getattr(args, "ledger_out", None))
+    if wanted:
+        ledger.reset()
+        ledger.enable()
+    return wanted
+
+
+def _ledger_finish(args, title: str) -> None:
+    """Write the requested report/ledger files and disable the ledger."""
+    registry = ledger.get()
+    if getattr(args, "ledger_out", None):
+        registry.write_jsonl(args.ledger_out)
+        print(f"wrote {args.ledger_out}", file=sys.stderr)
+    if getattr(args, "report", None):
+        stats = telemetry.stats_dict(telemetry.get())
+        tree = telemetry.tree_summary(telemetry.get())
+        write_report(args.report, registry.records,
+                     stats=stats, tree=tree, title=title)
+        print(f"wrote {args.report}", file=sys.stderr)
+    ledger.disable()
+    ledger.reset()
 
 
 def _telemetry_finish(args) -> None:
@@ -122,17 +183,19 @@ def cmd_run(args) -> int:
 
 def cmd_pa(args) -> int:
     traced = _telemetry_begin(args)
+    ledgered = _ledger_begin(args)
     module = _load_source(args.source, args.assembly)
     reference = run_image(layout(module), max_steps=args.max_steps)
     before = module.num_instructions
-    if args.engine == "sfx":
-        result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
-    else:
-        result = run_pa(module, PAConfig(
-            miner=args.engine,
-            max_nodes=args.max_nodes,
-            time_budget=args.time_budget,
-        ))
+    with ledger.GLOBAL.context(source=args.source):
+        if args.engine == "sfx":
+            result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
+        else:
+            result = run_pa(module, PAConfig(
+                miner=args.engine,
+                max_nodes=args.max_nodes,
+                time_budget=args.time_budget,
+            ))
     after = run_image(layout(module), max_steps=args.max_steps)
     status = "OK" if (after.output, after.exit_code) == (
         reference.output, reference.exit_code) else "BEHAVIOUR CHANGED!"
@@ -147,6 +210,10 @@ def cmd_pa(args) -> int:
         with open(args.output, "w") as handle:
             handle.write(module.render())
         print(f"wrote {args.output}")
+    if ledgered:
+        _ledger_finish(
+            args, title=f"PA run report — {args.source} ({args.engine})"
+        )
     if traced:
         _telemetry_finish(args)
     return 0 if status == "OK" else 1
@@ -216,6 +283,44 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    """Explain one abstraction round (or the whole run) from the ledger.
+
+    Without ``--ledger`` the workload is (re)run with the decision
+    ledger enabled; with it, a previously saved ``--ledger-out`` JSONL
+    stream is replayed instantly.
+    """
+    if args.ledger:
+        records = ledger.read_jsonl(args.ledger)
+    else:
+        ledger.reset()
+        ledger.enable()
+        try:
+            module = _load_source(args.source, args.assembly)
+            with ledger.GLOBAL.context(source=args.source):
+                run_pa(module, PAConfig(
+                    miner=args.engine,
+                    max_nodes=args.max_nodes,
+                    time_budget=args.time_budget,
+                ))
+            records = list(ledger.get().records)
+        finally:
+            ledger.disable()
+            ledger.reset()
+    if not records:
+        sys.exit("error: the ledger is empty (nothing to explain)")
+    if args.round == "all":
+        print(explain_run(records))
+    else:
+        try:
+            round_number = int(args.round)
+        except ValueError:
+            sys.exit(f"error: round must be an integer or 'all', "
+                     f"got {args.round!r}")
+        print(explain_round(records, round_number))
+    return 0
+
+
 def cmd_stats(args) -> int:
     module = _load_source(args.source, args.assembly)
     dfgs = build_dfgs(module, min_nodes=1, mined_kinds=FLOW_KINDS)
@@ -252,8 +357,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-budget", type=float, default=600.0)
     p.add_argument("--max-steps", type=int, default=50_000_000)
     p.add_argument("-o", "--output", help="write the compacted assembly")
+    p.add_argument("--report", metavar="FILE",
+                   help="write a self-contained HTML run report")
+    p.add_argument("--ledger-out", metavar="FILE",
+                   help="write the decision ledger as JSONL")
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_pa)
+
+    p = sub.add_parser(
+        "explain",
+        help="narrate one abstraction round from the decision ledger",
+    )
+    p.add_argument("round", help="round number, or 'all' for a digest")
+    p.add_argument("--source", default="sha",
+                   help="workload name or source path (default: sha)")
+    p.add_argument("--engine", choices=("dgspan", "edgar"),
+                   default="edgar")
+    p.add_argument("--assembly", action="store_true")
+    p.add_argument("--max-nodes", type=int, default=8)
+    p.add_argument("--time-budget", type=float, default=600.0)
+    p.add_argument("--ledger", metavar="FILE",
+                   help="replay a saved --ledger-out JSONL instead of "
+                        "re-running the workload")
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p.add_argument("programs", nargs="*",

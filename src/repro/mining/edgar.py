@@ -18,7 +18,7 @@ Edgar extends DgSpan in three ways:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.dfg.graph import DFG
 
@@ -38,9 +38,15 @@ MAX_PER_GRAPH = 400
 
 
 def non_overlapping_embeddings(
-    embeddings: Sequence[Embedding], exact_limit: int = 60
+    embeddings: Sequence[Embedding], exact_limit: int = 60,
+    stats: Optional[Dict[str, Any]] = None,
 ) -> List[Embedding]:
-    """A maximum subset of pairwise node-disjoint embeddings."""
+    """A maximum subset of pairwise node-disjoint embeddings.
+
+    *stats*, when given, is filled with the overlap resolution's
+    provenance: the collision graph (node count, edge count, adjacency
+    lists), the chosen indices, and the MIS solver's decision census.
+    """
     unique = dedupe_by_node_set(embeddings)
     per_graph: dict = {}
     capped = []
@@ -54,7 +60,12 @@ def non_overlapping_embeddings(
         _TELEMETRY.count("mis.overlap_resolutions")
         _TELEMETRY.count("mis.capped_embeddings", len(unique) - len(capped))
     adjacency = build_collision_graph(capped)
-    chosen = max_independent_set(adjacency, exact_limit=exact_limit)
+    chosen = max_independent_set(adjacency, exact_limit=exact_limit,
+                                 stats=stats)
+    if stats is not None:
+        stats["edges"] = sum(len(n) for n in adjacency) // 2
+        stats["adjacency"] = adjacency
+        stats["chosen_indices"] = list(chosen)
     return [capped[i] for i in chosen]
 
 
@@ -85,17 +96,25 @@ class Edgar(DgSpan):
     ) -> List[Embedding]:
         if not self.pa_pruning:
             return embeddings
-        kept = [
-            emb
-            for emb in embeddings
-            if not never_convex_within(
+        kept: List[Embedding] = []
+        never_convex = cyclic = 0
+        for emb in embeddings:
+            if never_convex_within(
                 db.dfgs[emb.graph], emb.nodes, self.max_nodes
-            )
-            and not is_permanently_illegal(db.dfgs[emb.graph], emb.nodes)
-        ]
-        if len(kept) != len(embeddings):
+            ):
+                never_convex += 1
+                continue
+            if is_permanently_illegal(db.dfgs[emb.graph], emb.nodes):
+                cyclic += 1
+                continue
+            kept.append(emb)
+        if never_convex or cyclic:
+            # split tallies feed the decision ledger's per-round prune
+            # record (never-convex vs the Fig. 9 cyclic-dependency case)
+            self.pruned_never_convex += never_convex
+            self.pruned_cyclic += cyclic
             _TELEMETRY.count(
-                "mining.pa_pruned_embeddings", len(embeddings) - len(kept)
+                "mining.pa_pruned_embeddings", never_convex + cyclic
             )
         return kept
 

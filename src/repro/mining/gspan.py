@@ -31,6 +31,7 @@ from repro.mining.dfs_code import (
     _used_edges,
 )
 from repro.mining.embeddings import Embedding, dedupe_by_node_set
+from repro.report.ledger import GLOBAL as _LEDGER
 from repro.telemetry import GLOBAL as _TELEMETRY
 
 
@@ -147,6 +148,11 @@ class DgSpan:
         self.max_embeddings = max_embeddings
         self.truncated_branches = 0
         self.visited_nodes = 0  # lattice nodes expanded (for benches)
+        #: PA-specific embedding pruning tallies, split by cause (only
+        #: Edgar increments them; defined here so the driver's ledger
+        #: emission reads them uniformly off either miner).
+        self.pruned_never_convex = 0
+        self.pruned_cyclic = 0
         #: Optional search-driver hook: called with an upper bound on the
         #: subtree's (fragment size, non-overlapping occurrence count);
         #: returning True prunes the subtree.  The PA driver uses it to
@@ -233,6 +239,8 @@ class DgSpan:
             graphs = len({e.graph for e in embeddings})
             return (-graphs, -len(embeddings), edge_sort_key(tup))
 
+        visited_before = self.visited_nodes
+        truncated_before = self.truncated_branches
         try:
             with _TELEMETRY.span("mining.mine", graphs=len(db.graphs),
                                  seeds=len(seeds),
@@ -244,6 +252,19 @@ class DgSpan:
         except _DeadlineReached:
             self.deadline_hit = True
             _TELEMETRY.count("mining.deadline_hits")
+        if _LEDGER.enabled:
+            _LEDGER.emit(
+                "mine.pass",
+                engine=type(self).__name__.lower(),
+                graphs=len(db.graphs),
+                seeds=len(seeds),
+                max_nodes=self.max_nodes,
+                lattice_nodes=self.visited_nodes - visited_before,
+                truncated_branches=(
+                    self.truncated_branches - truncated_before
+                ),
+                deadline_hit=self.deadline_hit,
+            )
         return results
 
     # ------------------------------------------------------------------

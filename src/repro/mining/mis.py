@@ -11,9 +11,10 @@ fallback (and ablation mode) for components above a size threshold.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.mining.collision import connected_components
+from repro.report.ledger import GLOBAL as _LEDGER
 from repro.telemetry import GLOBAL as _TELEMETRY
 
 #: Components larger than this fall back to the greedy heuristic; the
@@ -57,7 +58,8 @@ EXPAND_BUDGET = 200_000
 
 
 def _exact_component(vertices: List[int],
-                     adjacency: Sequence[Sequence[int]]) -> List[int]:
+                     adjacency: Sequence[Sequence[int]],
+                     info: Optional[Dict[str, Any]] = None) -> List[int]:
     """Exact MIS of one component via max clique of the complement.
 
     Branch and bound in the style of Kumlander [30]: vertices of the
@@ -125,12 +127,15 @@ def _exact_component(vertices: List[int],
         expand([], full)
     except _BudgetExhausted:
         _TELEMETRY.count("mis.budget_exhausted")
+        if info is not None:
+            info["budget_exhausted"] = info.get("budget_exhausted", 0) + 1
     return [vertices[k] for k in best]
 
 
 def max_independent_set(
     adjacency: Sequence[Sequence[int]],
     exact_limit: int = EXACT_LIMIT,
+    stats: Optional[Dict[str, Any]] = None,
 ) -> List[int]:
     """A maximum independent set of the whole collision graph.
 
@@ -139,9 +144,27 @@ def max_independent_set(
     independent set never spans a collision edge, so components are
     independent subproblems.  Pass ``exact_limit=0`` for the pure greedy
     ablation mode.
+
+    *stats*, when given, is filled with the solve's decision census
+    (vertices, component counts by strategy, budget exhaustions, chosen
+    size) — the provenance the decision ledger attaches to candidates.
     """
     result: List[int] = []
     telemetry_on = _TELEMETRY.enabled
+    ledger_on = _LEDGER.enabled
+    info: Optional[Dict[str, Any]] = (
+        {
+            "vertices": len(adjacency),
+            "components": 0,
+            "singleton": 0,
+            "exact": 0,
+            "greedy": 0,
+            "budget_exhausted": 0,
+            "largest_component": 0,
+        }
+        if (stats is not None or ledger_on)
+        else None
+    )
     if telemetry_on:
         # pre-register the decision counters so exports always carry
         # them, even on runs where one branch is never taken
@@ -151,21 +174,50 @@ def max_independent_set(
     for component in connected_components(list(map(list, adjacency))):
         if telemetry_on:
             _TELEMETRY.observe("mis.component_size", len(component))
+        if info is not None:
+            info["components"] += 1
+            info["largest_component"] = max(
+                info["largest_component"], len(component)
+            )
         if len(component) == 1:
             if telemetry_on:
                 _TELEMETRY.count("mis.singleton_components")
+            if info is not None:
+                info["singleton"] += 1
             result.extend(component)
         elif len(component) <= exact_limit:
             if telemetry_on:
                 _TELEMETRY.count("mis.exact_components")
-            result.extend(_exact_component(component, adjacency))
+            if info is not None:
+                info["exact"] += 1
+            result.extend(_exact_component(component, adjacency, info))
         else:
             if telemetry_on:
                 _TELEMETRY.count("mis.greedy_components")
+            if info is not None:
+                info["greedy"] += 1
             sub_index = {v: k for k, v in enumerate(component)}
             sub_adj = [
                 [sub_index[u] for u in adjacency[v] if u in sub_index]
                 for v in component
             ]
             result.extend(component[k] for k in greedy_mis(sub_adj))
+    if info is not None:
+        info["chosen"] = len(result)
+        info["mode"] = _solve_mode(info)
+        if stats is not None:
+            stats.update(info)
+        if ledger_on:
+            _LEDGER.emit("mis", **info)
     return sorted(result)
+
+
+def _solve_mode(info: Dict[str, Any]) -> str:
+    """Classify one solve: did the exact search or the fallback decide?"""
+    if info["greedy"] and info["exact"]:
+        return "mixed"
+    if info["greedy"]:
+        return "greedy"
+    if info["exact"]:
+        return "exact"
+    return "trivial"

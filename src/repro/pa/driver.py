@@ -19,6 +19,8 @@ from repro.dfg.builder import build_dfgs
 from repro.dfg.graph import FLOW_KINDS, MINED_KINDS
 from repro.mining.edgar import Edgar, non_overlapping_embeddings
 from repro.mining.gspan import DgSpan
+from repro.report.dot import collision_to_dot, dfg_to_dot, fragment_to_dot
+from repro.report.ledger import GLOBAL as _LEDGER, LEDGER_SCHEMA
 from repro.telemetry import GLOBAL as _TELEMETRY
 
 from repro.pa.extract import (
@@ -27,7 +29,14 @@ from repro.pa.extract import (
     extract_crossjump,
     order_consistent_subset,
 )
-from repro.pa.fragments import Candidate, best_possible_benefit, score
+from repro.pa.fragments import (
+    Candidate,
+    best_possible_benefit,
+    call_benefit,
+    call_overhead,
+    crossjump_benefit,
+    score,
+)
 from repro.pa.legality import (
     ExtractionMethod,
     legal_embeddings,
@@ -167,8 +176,16 @@ def collect_candidates(module: Module, config: PAConfig,
     def prune_subtree(size_cap: int, occurrence_bound: int) -> bool:
         return best_possible_benefit(size_cap, occurrence_bound) <= floor()
 
+    ledger_on = _LEDGER.enabled
+    skips = {
+        "considered": 0, "floor": 0, "illegal": 0, "lr_infeasible": 0,
+        "order_inconsistent": 0, "unprofitable": 0, "scored": 0,
+    }
+
     def consider(frag) -> None:
         _TELEMETRY.count("pa.candidates.considered")
+        if ledger_on:
+            skips["considered"] += 1
         per_graph = {}
         for emb in frag.embeddings:
             per_graph[emb.graph] = per_graph.get(emb.graph, 0) + 1
@@ -179,6 +196,8 @@ def collect_candidates(module: Module, config: PAConfig,
         bound = best_possible_benefit(frag.num_nodes, occ_bound)
         if bound <= floor():
             _TELEMETRY.count("pa.candidates.skipped_floor")
+            if ledger_on:
+                skips["floor"] += 1
             return
         if len(frag.embeddings) > 1000:
             # per-embedding legality below costs a reachability sweep
@@ -188,7 +207,10 @@ def collect_candidates(module: Module, config: PAConfig,
         method, legal = legal_embeddings(dfgs, frag)
         if method is None or len(legal) < 2:
             _TELEMETRY.count("pa.candidates.skipped_illegal")
+            if ledger_on:
+                skips["illegal"] += 1
             return
+        legal_count = len(legal)
         if method is ExtractionMethod.CALL:
             legal = [
                 e for e in legal
@@ -197,13 +219,42 @@ def collect_candidates(module: Module, config: PAConfig,
             ]
             if len(legal) < 2:
                 _TELEMETRY.count("pa.candidates.skipped_lr_infeasible")
+                if ledger_on:
+                    skips["lr_infeasible"] += 1
+                    _LEDGER.emit(
+                        "candidate",
+                        verdict="lr_infeasible",
+                        labels=list(frag.node_labels),
+                        size=frag.num_nodes,
+                        method=method.value,
+                        embeddings=len(frag.embeddings),
+                        legal=legal_count,
+                        lr_feasible=len(legal),
+                    )
                 return
+        mis_stats = {} if ledger_on else None
         disjoint = non_overlapping_embeddings(
-            legal, exact_limit=config.mis_exact_limit
+            legal, exact_limit=config.mis_exact_limit, stats=mis_stats
         )
         kept, union = order_consistent_subset(dfgs, disjoint)
         if len(kept) < 2:
             _TELEMETRY.count("pa.candidates.skipped_order")
+            if ledger_on:
+                skips["order_inconsistent"] += 1
+                _LEDGER.emit(
+                    "candidate",
+                    verdict="order_inconsistent",
+                    labels=list(frag.node_labels),
+                    size=frag.num_nodes,
+                    method=method.value,
+                    embeddings=len(frag.embeddings),
+                    legal=legal_count,
+                    mis_size=len(disjoint),
+                    collision_nodes=mis_stats.get("vertices"),
+                    collision_edges=mis_stats.get("edges"),
+                    mis_mode=mis_stats.get("mode"),
+                    order_kept=len(kept),
+                )
             return
         witness = kept[0]
         insns = [dfgs[witness.graph].insns[n] for n in witness.nodes]
@@ -211,8 +262,61 @@ def collect_candidates(module: Module, config: PAConfig,
         candidate = score(frag, method, insns, kept, union, origins)
         if candidate is None:
             _TELEMETRY.count("pa.candidates.skipped_unprofitable")
+            if ledger_on:
+                skips["unprofitable"] += 1
+                if method is ExtractionMethod.CALL:
+                    benefit = call_benefit(
+                        frag.num_nodes, len(kept), call_overhead(insns)
+                    )
+                else:
+                    benefit = crossjump_benefit(frag.num_nodes, len(kept))
+                _LEDGER.emit(
+                    "candidate",
+                    verdict="unprofitable",
+                    labels=list(frag.node_labels),
+                    size=frag.num_nodes,
+                    method=method.value,
+                    embeddings=len(frag.embeddings),
+                    legal=legal_count,
+                    mis_size=len(disjoint),
+                    collision_nodes=mis_stats.get("vertices"),
+                    collision_edges=mis_stats.get("edges"),
+                    mis_mode=mis_stats.get("mode"),
+                    order_kept=len(kept),
+                    benefit=benefit,
+                )
             return
         _TELEMETRY.count("pa.candidates.scored")
+        if ledger_on:
+            skips["scored"] += 1
+            candidate.provenance = {
+                "embeddings": len(frag.embeddings),
+                "legal": legal_count,
+                "mis_size": len(disjoint),
+                "collision_nodes": mis_stats.get("vertices"),
+                "collision_edges": mis_stats.get("edges"),
+                "mis_mode": mis_stats.get("mode"),
+                "order_kept": len(kept),
+                "collision_adjacency": mis_stats.get("adjacency"),
+                "chosen_indices": mis_stats.get("chosen_indices"),
+                "fragment_labels": list(frag.node_labels),
+                "fragment_edges": sorted(tuple(e) for e in frag.edges),
+            }
+            _LEDGER.emit(
+                "candidate",
+                verdict="scored",
+                labels=list(frag.node_labels),
+                size=frag.num_nodes,
+                method=method.value,
+                embeddings=len(frag.embeddings),
+                legal=legal_count,
+                mis_size=len(disjoint),
+                collision_nodes=mis_stats.get("vertices"),
+                collision_edges=mis_stats.get("edges"),
+                mis_mode=mis_stats.get("mode"),
+                order_kept=len(kept),
+                benefit=candidate.benefit,
+            )
         collected.append(candidate)
         if best[0] is None or candidate.sort_key() < best[0].sort_key():
             best[0] = candidate
@@ -229,11 +333,13 @@ def collect_candidates(module: Module, config: PAConfig,
             saved_max = miner.max_nodes
             miner.max_nodes = 3
             try:
-                with _TELEMETRY.span("pa.mine.shallow"):
+                with _TELEMETRY.span("pa.mine.shallow"), \
+                        _LEDGER.context(mine_pass="shallow"):
                     miner.mine(dfgs)
             finally:
                 miner.max_nodes = saved_max
-        with _TELEMETRY.span("pa.mine.full"):
+        with _TELEMETRY.span("pa.mine.full"), \
+                _LEDGER.context(mine_pass="full"):
             miner.mine(dfgs)
         if config.flow_pass and FLOW_KINDS != config.mined_kinds:
             # Second pass on the data-flow projection; block order and
@@ -241,12 +347,15 @@ def collect_candidates(module: Module, config: PAConfig,
             # directly and legality still checks the full dep_edges.
             flow_dfgs = build_dfgs(module, min_nodes=0,
                                    mined_kinds=FLOW_KINDS)
-            with _TELEMETRY.span("pa.mine.flow"):
+            with _TELEMETRY.span("pa.mine.flow"), \
+                    _LEDGER.context(mine_pass="flow"):
                 miner.mine(flow_dfgs)
     finally:
         miner.prune_subtree = None
         miner.on_fragment = None
         miner.deadline = None
+    if ledger_on:
+        _LEDGER.emit("mine.skips", **skips)
     collected.sort(key=lambda c: c.sort_key())
     return collected
 
@@ -320,6 +429,8 @@ def apply_batch(module: Module, config: PAConfig,
                 f"benefit model mismatch: predicted {candidate.benefit}, "
                 f"actual {saved}"
             )
+        if _LEDGER.enabled:
+            _emit_extraction(candidate, dfgs, method, symbol)
         records.append(
             ExtractionRecord(
                 round=-1,
@@ -334,6 +445,50 @@ def apply_batch(module: Module, config: PAConfig,
     return records, touched_blocks, touched_functions
 
 
+def _emit_extraction(candidate: Candidate, dfgs, method: str,
+                     symbol: str) -> None:
+    """One ``extraction`` ledger record, with inline DOT artifacts."""
+    prov = candidate.provenance or {}
+    fragment = candidate.fragment
+    witness = candidate.embeddings[0]
+    host = dfgs[witness.graph]
+    adjacency = prov.get("collision_adjacency")
+    collision_dot = None
+    if adjacency is not None:
+        collision_dot = collision_to_dot(
+            adjacency, prov.get("chosen_indices"),
+            title=f"{symbol}: collision graph",
+        )
+    _LEDGER.emit(
+        "extraction",
+        method=method,
+        size=candidate.size,
+        occurrences=candidate.occurrences,
+        benefit=candidate.benefit,
+        bytes_saved=candidate.benefit * 4,
+        new_symbol=symbol,
+        instructions=[str(i) for i in candidate.insns],
+        origins=[list(o) for o in candidate.origins],
+        embedding_count=prov.get("embeddings", len(fragment.embeddings)),
+        legal=prov.get("legal"),
+        mis_size=prov.get("mis_size", candidate.occurrences),
+        collision_nodes=prov.get("collision_nodes"),
+        collision_edges=prov.get("collision_edges"),
+        mis_mode=prov.get("mis_mode"),
+        order_kept=prov.get("order_kept", candidate.occurrences),
+        fragment_dot=fragment_to_dot(
+            fragment.node_labels, fragment.edges,
+            title=f"{symbol}: fragment",
+        ),
+        host_dot=dfg_to_dot(
+            host, highlight=witness.nodes,
+            title=f"{symbol}: host block "
+                  f"{host.origin[0]}#{host.origin[1]}",
+        ),
+        collision_dot=collision_dot,
+    )
+
+
 def run_pa(module: Module, config: Optional[PAConfig] = None) -> PAResult:
     """Run graph-based procedural abstraction to a fixpoint on *module*.
 
@@ -341,12 +496,42 @@ def run_pa(module: Module, config: Optional[PAConfig] = None) -> PAResult:
     result for convenience.
     """
     config = config or PAConfig()
+    if _LEDGER.enabled:
+        _LEDGER.emit(
+            "run.begin",
+            schema=LEDGER_SCHEMA,
+            engine=config.miner,
+            instructions=module.num_instructions,
+            config={
+                "miner": config.miner,
+                "min_support": config.min_support,
+                "min_nodes": config.min_nodes,
+                "max_nodes": config.max_nodes,
+                "mis_exact_limit": config.mis_exact_limit,
+                "pa_pruning": config.pa_pruning,
+                "flow_pass": config.flow_pass,
+                "batch": config.batch,
+                "time_budget": config.time_budget,
+            },
+        )
     with _TELEMETRY.span("pa.run", miner=config.miner):
         result = _run_pa(module, config)
     if _TELEMETRY.enabled:
         _TELEMETRY.count("pa.runs")
         _TELEMETRY.count("pa.instructions.saved", result.saved)
         _TELEMETRY.count("pa.lattice_nodes", result.lattice_nodes)
+    if _LEDGER.enabled:
+        _LEDGER.emit(
+            "run.end",
+            rounds=result.rounds,
+            instructions=result.instructions_after,
+            saved=result.saved,
+            bytes_saved=result.saved * 4,
+            call_extractions=result.call_extractions,
+            crossjump_extractions=result.crossjump_extractions,
+            elapsed_seconds=round(result.elapsed_seconds, 6),
+            dropped=dict(_LEDGER.dropped),
+        )
     return result
 
 
@@ -364,7 +549,13 @@ def _run_pa(module: Module, config: PAConfig) -> PAResult:
     carryover: List[Candidate] = []
     for round_index in range(config.max_rounds):
         miner = _make_miner(config)
-        with _TELEMETRY.span("pa.round", round=round_index):
+        with _TELEMETRY.span("pa.round", round=round_index), \
+                _LEDGER.context(round=round_index):
+            if _LEDGER.enabled:
+                _LEDGER.emit(
+                    "round.begin", instructions=module.num_instructions,
+                    carryover=len(carryover),
+                )
             mine_started = time.perf_counter()
             with _TELEMETRY.span("pa.collect", round=round_index):
                 candidates = collect_candidates(
@@ -374,16 +565,42 @@ def _run_pa(module: Module, config: PAConfig) -> PAResult:
             mine_seconds = time.perf_counter() - mine_started
             result.lattice_nodes += miner.visited_nodes
             _TELEMETRY.count("pa.carryover.candidates", len(carryover))
+            if _LEDGER.enabled:
+                _LEDGER.emit(
+                    "prune",
+                    never_convex=getattr(miner, "pruned_never_convex", 0),
+                    cyclic=getattr(miner, "pruned_cyclic", 0),
+                )
             if not candidates:
+                if _LEDGER.enabled:
+                    _LEDGER.emit(
+                        "round.end",
+                        instructions=module.num_instructions,
+                        applied=0, saved=0,
+                    )
                 break
             if not config.batch:
                 candidates = candidates[:1]
+            before_apply = module.num_instructions
             with _TELEMETRY.span("pa.apply", round=round_index):
                 records, touched_blocks, touched_functions = apply_batch(
                     module, config, candidates
                 )
             if not records:
+                if _LEDGER.enabled:
+                    _LEDGER.emit(
+                        "round.end",
+                        instructions=module.num_instructions,
+                        applied=0, saved=0,
+                    )
                 break
+            if _LEDGER.enabled:
+                _LEDGER.emit(
+                    "round.end",
+                    instructions=module.num_instructions,
+                    applied=len(records),
+                    saved=before_apply - module.num_instructions,
+                )
             for record in records:
                 record.round = round_index
             if _TELEMETRY.enabled:

@@ -33,6 +33,7 @@ from repro.dfg.linearize import (
     topological_order,
 )
 from repro.mining.embeddings import Embedding
+from repro.report.ledger import GLOBAL as _LEDGER
 from repro.telemetry import GLOBAL as _TELEMETRY
 
 
@@ -243,6 +244,10 @@ def extract_call(
         func.blocks[block_index].instructions = list(stream)
 
     module.functions.append(new_func)
+    if _LEDGER.enabled:
+        _LEDGER.emit("rewrite", method="call", symbol=name,
+                     occurrences=len(embeddings),
+                     body_size=len(body))
     return name
 
 
@@ -313,6 +318,10 @@ def extract_crossjump(
                 ]
             else:
                 old.instructions = head + [branch]
+    if _LEDGER.enabled:
+        _LEDGER.emit("rewrite", method="crossjump", symbol=label,
+                     occurrences=len(embeddings),
+                     body_size=len(tail_body))
     return label
 
 

@@ -22,7 +22,7 @@ the greedy strategy the paper uses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.isa.instructions import Instruction
 
@@ -63,6 +63,12 @@ class Candidate:
     #: (function name, block index) of every occurrence — used to decide
     #: whether the candidate survives other extractions untouched
     origins: Tuple[Tuple[str, int], ...] = ()
+    #: Decision provenance (embedding funnel counts, collision graph,
+    #: MIS census) attached by the driver only while the decision
+    #: ledger is enabled; never part of candidate identity.
+    provenance: Optional[Dict[str, Any]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def size(self) -> int:

@@ -36,6 +36,7 @@ from repro.dfg.graph import DFG
 from repro.mining.embeddings import Embedding
 from repro.mining.gspan import Fragment
 from repro.mining.pruning import is_convex
+from repro.report.ledger import GLOBAL as _LEDGER
 
 
 class ExtractionMethod(enum.Enum):
@@ -158,12 +159,30 @@ def legal_embeddings(
     insns = _fragment_insns(dfgs, fragment, sample)
     method = classify_fragment(insns)
     if method is None:
+        if _LEDGER.enabled:
+            _LEDGER.emit(
+                "legality",
+                labels=list(fragment.node_labels),
+                size=fragment.num_nodes,
+                method=None,
+                embeddings=len(fragment.embeddings),
+                kept=0,
+            )
         return None, []
     kept = [
         emb
         for emb in fragment.embeddings
         if embedding_legal(dfgs[emb.graph], emb.nodes, method)
     ]
+    if _LEDGER.enabled:
+        _LEDGER.emit(
+            "legality",
+            labels=list(fragment.node_labels),
+            size=fragment.num_nodes,
+            method=method.value,
+            embeddings=len(fragment.embeddings),
+            kept=len(kept),
+        )
     return method, kept
 
 

@@ -1,0 +1,123 @@
+"""Graphviz DOT (and JSON) renderings of the pipeline's graph artifacts.
+
+Three graph families matter when debugging an abstraction decision:
+
+* the **DFG of a basic block** — what the miner actually searched,
+* a **fragment** with one of its embeddings highlighted in the host
+  block — what won the cost/benefit race and where it sat,
+* the **collision graph** over a fragment's embeddings — what the MIS
+  solver resolved.
+
+All functions return plain DOT source text (``dot -Tsvg`` renders it;
+the HTML run report inlines the sources verbatim).  ``dfg_to_json``
+provides the same structure as data for programmatic consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Graphviz edge attributes per dependence kind (see ``repro.dfg.graph``:
+#: d = data flow, m = memory order, f = flag flow, a = anti, o = output).
+_EDGE_STYLE = {
+    "d": 'color="#1f6f43"',
+    "m": 'color="#8a5a00" style=dashed',
+    "f": 'color="#285a8f" style=dotted',
+    "a": 'color="#888888" style=dashed arrowhead=empty',
+    "o": 'color="#888888" style=dotted arrowhead=empty',
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + str(text).replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def dfg_to_dot(
+    dfg,
+    highlight: Optional[Iterable[int]] = None,
+    title: Optional[str] = None,
+    full: bool = False,
+) -> str:
+    """DOT source of one basic block's DFG.
+
+    *highlight* fills the given node indices (an embedding's footprint);
+    *full* renders ``dep_edges`` instead of the mined ``edges``.
+    """
+    marked = set(highlight or ())
+    name = title or f"dfg_{dfg.origin[0]}_{dfg.origin[1]}"
+    lines = [f"digraph {_quote(name)} {{"]
+    lines.append('  rankdir=TB; node [shape=box fontname="monospace"];')
+    if title:
+        lines.append(f"  label={_quote(title)}; labelloc=t;")
+    for index, label in enumerate(dfg.labels):
+        attrs = [f"label={_quote(f'{index}: {label}')}"]
+        if index in marked:
+            attrs.append('style=filled fillcolor="#ffe08a"')
+        lines.append(f"  n{index} [{' '.join(attrs)}];")
+    edges = dfg.dep_edges if full else dfg.edges
+    for src, dst, kind in sorted(edges):
+        style = _EDGE_STYLE.get(kind, "")
+        attrs = f" [label={_quote(kind)} {style}]".rstrip()
+        lines.append(f"  n{src} -> n{dst}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfg_to_json(dfg, full: bool = False) -> Dict[str, Any]:
+    """The same structure as :func:`dfg_to_dot`, as plain data."""
+    edges = dfg.dep_edges if full else dfg.edges
+    return {
+        "origin": list(dfg.origin),
+        "nodes": [
+            {"id": index, "label": label}
+            for index, label in enumerate(dfg.labels)
+        ],
+        "edges": [
+            {"src": src, "dst": dst, "kind": kind}
+            for src, dst, kind in sorted(edges)
+        ],
+    }
+
+
+def fragment_to_dot(
+    labels: Sequence[str],
+    edges: Iterable[Tuple[int, int, str]],
+    title: Optional[str] = None,
+) -> str:
+    """DOT source of a mined fragment (nodes are DFS roles)."""
+    lines = [f"digraph {_quote(title or 'fragment')} {{"]
+    lines.append('  rankdir=TB; node [shape=box fontname="monospace"];')
+    if title:
+        lines.append(f"  label={_quote(title)}; labelloc=t;")
+    for role, label in enumerate(labels):
+        lines.append(f"  r{role} [label={_quote(f'{role}: {label}')}];")
+    for src, dst, kind in sorted(tuple(e) for e in edges):
+        style = _EDGE_STYLE.get(kind, "")
+        attrs = f" [label={_quote(kind)} {style}]".rstrip()
+        lines.append(f"  r{src} -> r{dst}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def collision_to_dot(
+    adjacency: Sequence[Sequence[int]],
+    chosen: Optional[Iterable[int]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """DOT source of a collision graph; *chosen* marks the MIS."""
+    picked = set(chosen or ())
+    lines = [f"graph {_quote(title or 'collision')} {{"]
+    lines.append("  node [shape=circle];")
+    if title:
+        lines.append(f"  label={_quote(title)}; labelloc=t;")
+    for index in range(len(adjacency)):
+        attrs = ""
+        if index in picked:
+            attrs = ' [style=filled fillcolor="#9ad0a9"]'
+        lines.append(f"  e{index}{attrs};")
+    for src in range(len(adjacency)):
+        for dst in adjacency[src]:
+            if src < dst:
+                lines.append(f"  e{src} -- e{dst};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""The decision ledger: typed provenance records from the PA pipeline.
+
+The ledger is a process-global, append-only stream of plain dicts, each
+tagged with a ``type`` and merged with the ambient *context* (the round
+number, the active mining pass) that the driver maintains around the
+pipeline phases.  Pipeline modules emit through the module-global
+:data:`GLOBAL` instance behind the same contract the telemetry registry
+uses:
+
+1. **Off by default, inert when disabled.**  Every emission site is
+   guarded by a plain attribute check; a disabled run records nothing
+   and — asserted by ``tests/report`` — produces bit-identical binaries
+   to an enabled run.
+2. **Bounded.**  High-frequency record types (one legality verdict per
+   mined fragment can mean tens of thousands of records on a real
+   workload) are capped per type; drops are counted and reported in the
+   ``run.end`` record rather than silently swallowed.
+3. **Purely observational.**  Nothing reads the ledger back during a
+   run; enabling it may cost time but never changes a result.
+
+Record types of schema ``repro.report.ledger/1`` (all fields additive;
+consumers must ignore unknown fields):
+
+========== ==========================================================
+type       emitted by / contents
+========== ==========================================================
+run.begin  driver — schema tag, engine, config snapshot, instruction
+           count before abstraction
+round.begin / round.end
+           driver — per-round instruction counts, candidates applied,
+           instructions saved
+mine.pass  miner — one record per mining pass (shallow / full / flow):
+           graphs, seeds, lattice nodes expanded, truncated branches,
+           deadline hit
+mine.skips driver — per-round aggregate of candidate-rejection counts
+           (benefit floor, illegality, lr-infeasibility, order
+           inconsistency, unprofitability) plus the scored total
+prune      driver — per-round PA-specific embedding pruning: the
+           never-convex count and the Fig. 9 cyclic-dependency count
+legality   legality checker — one verdict per classified fragment:
+           mechanism (call / crossjump / null) and surviving
+           embeddings (capped)
+mis        MIS solver — one record per overlap resolution: collision
+           graph size, component census, exact-vs-greedy fallback,
+           chosen set size (capped)
+candidate  driver — one record per candidate that reached the
+           cost/benefit race: fragment labels, embedding counts at
+           each funnel stage, MIS size and mode, benefit, verdict
+           (scored / unprofitable / order_inconsistent /
+           lr_infeasible)
+extraction driver — one record per applied extraction: mechanism,
+           size, occurrences, benefit, bytes saved, new symbol, body
+           instructions, origins, and inline DOT renderings of the
+           fragment, its host block (embedding highlighted) and the
+           collision graph MIS solved
+rewrite    extractor — low-level confirmation that a rewrite landed:
+           mechanism, symbol, occurrence count
+run.end    driver — rounds, saved instructions, elapsed seconds, and
+           the per-type dropped-record census
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Version tag of the ledger JSONL schema.
+LEDGER_SCHEMA = "repro.report.ledger/1"
+
+#: Per-type record caps.  ``legality`` fires once per classified mined
+#: fragment and ``mis`` once per overlap resolution — tens of thousands
+#: of records on real workloads; the driver-level types are naturally
+#: bounded by the candidate funnel and stay uncapped.
+DEFAULT_CAPS: Dict[str, int] = {
+    "legality": 1_000,
+    "mis": 4_000,
+    "candidate": 4_000,
+}
+
+
+class _NullContext:
+    """Shared no-op context manager returned while the ledger is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _LedgerContext:
+    """Temporarily merges fields into the ledger's ambient context."""
+
+    __slots__ = ("_ledger", "_fields", "_saved")
+
+    def __init__(self, ledger: "Ledger", fields: Dict[str, Any]):
+        self._ledger = ledger
+        self._fields = fields
+
+    def __enter__(self) -> "_LedgerContext":
+        context = self._ledger._context
+        self._saved = {
+            key: context[key] for key in self._fields if key in context
+        }
+        context.update(self._fields)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        context = self._ledger._context
+        for key in self._fields:
+            if key in self._saved:
+                context[key] = self._saved[key]
+            else:
+                context.pop(key, None)
+        return False
+
+
+class Ledger:
+    """An append-only stream of typed decision records.
+
+    The pipeline is sequential; the ledger deliberately has no lock.
+    (The telemetry registry, which *is* shared across the simulator's
+    helper threads, keeps one — nothing here runs off the main thread.)
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.records: List[Dict[str, Any]] = []
+        self.dropped: Dict[str, int] = {}
+        self.caps: Dict[str, int] = dict(DEFAULT_CAPS)
+        self._counts: Dict[str, int] = {}
+        self._context: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all records and context (the enabled flag is preserved)."""
+        self.records = []
+        self.dropped = {}
+        self._counts = {}
+        self._context = {}
+
+    # ------------------------------------------------------------------
+    # context
+    # ------------------------------------------------------------------
+    def context(self, **fields):
+        """Context manager merging *fields* into every nested emission."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _LedgerContext(self, fields)
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def emit(self, rtype: str, **fields) -> None:
+        """Append one record of type *rtype*, merged with the context."""
+        if not self.enabled:
+            return
+        cap = self.caps.get(rtype)
+        count = self._counts.get(rtype, 0)
+        if cap is not None and count >= cap:
+            self.dropped[rtype] = self.dropped.get(rtype, 0) + 1
+            return
+        self._counts[rtype] = count + 1
+        record: Dict[str, Any] = {"type": rtype}
+        record.update(self._context)
+        record.update(fields)
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def records_of(self, rtype: str) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["type"] == rtype]
+
+    def rounds(self) -> List[int]:
+        """Distinct round numbers present, in order."""
+        seen: List[int] = []
+        for record in self.records:
+            value = record.get("round")
+            if value is not None and value not in seen:
+                seen.append(value)
+        return seen
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for record in self.records:
+                json.dump(record, handle, default=str)
+                handle.write("\n")
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a ledger stream written by :meth:`Ledger.write_jsonl`."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+#: The process-global ledger all pipeline emission reports to.
+GLOBAL = Ledger()
+
+
+def get() -> Ledger:
+    """The process-global :class:`Ledger`."""
+    return GLOBAL
+
+
+def enable() -> None:
+    GLOBAL.enable()
+
+
+def disable() -> None:
+    GLOBAL.disable()
+
+
+def reset() -> None:
+    GLOBAL.reset()
+
+
+def is_enabled() -> bool:
+    return GLOBAL.enabled
+
+
+def emit(rtype: str, **fields) -> None:
+    GLOBAL.emit(rtype, **fields)

@@ -27,8 +27,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.telemetry.core import SpanRecord, Telemetry
 
-#: Version tag of the stats JSON schema.
-STATS_SCHEMA = "repro.telemetry.stats/1"
+#: Version tag of the stats JSON schema.  /2 added histogram
+#: percentiles (p50/p90/p99); consumers must ignore unknown fields.
+STATS_SCHEMA = "repro.telemetry.stats/2"
 
 
 # ----------------------------------------------------------------------
@@ -46,6 +47,26 @@ def chrome_trace(telemetry: Telemetry,
             "args": {"name": process_name},
         }
     ]
+    # One thread_name metadata event per distinct track, so the
+    # chrome://tracing / Perfetto timeline shows readable labels
+    # instead of raw thread idents.  The first-seen thread is the one
+    # that opened the first span — the pipeline's main thread.
+    threads: List[int] = []
+    for record in telemetry.spans:
+        if record.thread not in threads:
+            threads.append(record.thread)
+    for index, thread in enumerate(threads):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": thread,
+                "args": {
+                    "name": "main" if index == 0 else f"worker-{index}",
+                },
+            }
+        )
     for record in telemetry.spans:
         event = {
             "name": record.name,

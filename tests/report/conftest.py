@@ -1,0 +1,76 @@
+"""Fixtures for the decision-ledger / run-report test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report import ledger
+
+#: Two independent duplicate pairs with *different* best mechanisms:
+#: f1/f2 share a reordered 6-instruction computation (call outlining,
+#: benefit 3) and g1/g2 share a 5-instruction epilogue tail anchored by
+#: the ``pop`` (cross-jump, benefit 4).  Under ``PAConfig(batch=False)``
+#: the driver extracts exactly one candidate per round, best first, so
+#: the run is a deterministic two-round golden: round 0 cross-jumps the
+#: g tail, round 1 outlines the f fragment.
+GOLDEN_PROGRAM = """
+.text
+.global _start
+_start:
+    bl f1
+    swi #2
+    bl f2
+    swi #2
+    bl g1
+    swi #2
+    bl g2
+    swi #2
+    mov r0, #0
+    swi #0
+f1:
+    push {r4, r5, r6, lr}
+    mov r1, #3
+    mov r2, #5
+    add r3, r1, r2
+    mul r4, r3, r1
+    sub r5, r4, #2
+    eor r6, r5, r1
+    mov r0, r6
+    pop {r4, r5, r6, pc}
+f2:
+    push {r4, r5, r6, lr}
+    mov r2, #5
+    mov r1, #3
+    add r3, r1, r2
+    mul r4, r3, r1
+    sub r5, r4, #2
+    eor r6, r5, r1
+    add r0, r6, #100
+    pop {r4, r5, r6, pc}
+g1:
+    push {r4, r5, r6, lr}
+    mov r1, #2
+    mul r4, r1, r1
+    add r0, r4, #10
+    eor r0, r0, #3
+    orr r0, r0, #1
+    pop {r4, r5, r6, pc}
+g2:
+    push {r4, r5, r6, lr}
+    mov r1, #7
+    mul r4, r1, r1
+    add r0, r4, #10
+    eor r0, r0, #3
+    orr r0, r0, #1
+    pop {r4, r5, r6, pc}
+"""
+
+
+@pytest.fixture
+def global_ledger():
+    """The process-global ledger, reset and restored around the test."""
+    registry = ledger.get()
+    registry.reset()
+    yield registry
+    registry.disable()
+    registry.reset()

@@ -1,0 +1,143 @@
+"""CLI surface: ``pa --report/--ledger-out``, ``explain``, ``--force``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.report import ledger
+from repro.report.ledger import read_jsonl
+
+from tests.conftest import SHARED_FRAGMENT_PROGRAM
+
+
+@pytest.fixture(scope="module")
+def reported(tmp_path_factory):
+    """One ``pa --report --ledger-out`` run, shared by the module."""
+    tmp = tmp_path_factory.mktemp("report_cli")
+    source = tmp / "prog.s"
+    source.write_text(SHARED_FRAGMENT_PROGRAM)
+    report = tmp / "report.html"
+    ledger_path = tmp / "ledger.jsonl"
+    code = main(["pa", str(source), "--assembly",
+                 "--report", str(report),
+                 "--ledger-out", str(ledger_path)])
+    assert code == 0
+    return source, report, ledger_path
+
+
+class TestPaReport:
+    def test_writes_both_artifacts(self, reported):
+        __, report, ledger_path = reported
+        assert report.exists() and ledger_path.exists()
+
+    def test_ledger_stream_is_valid_jsonl(self, reported):
+        __, ___, ledger_path = reported
+        records = read_jsonl(str(ledger_path))
+        types = [r["type"] for r in records]
+        assert types[0] == "run.begin"
+        assert types[-1] == "run.end"
+        assert "extraction" in types
+
+    def test_source_stamped_into_records(self, reported):
+        source, __, ledger_path = reported
+        records = read_jsonl(str(ledger_path))
+        begin = next(r for r in records if r["type"] == "run.begin")
+        assert begin["source"] == str(source)
+
+    def test_report_totals_match_the_ledger(self, reported):
+        __, report, ledger_path = reported
+        records = read_jsonl(str(ledger_path))
+        end = next(r for r in records if r["type"] == "run.end")
+        extractions = [r for r in records if r["type"] == "extraction"]
+        assert end["saved"] == sum(e["benefit"] for e in extractions)
+        html = report.read_text()
+        assert f"<td>{end['saved']}</td>" in html
+        assert "total saved" in html
+
+    def test_report_embeds_telemetry(self, reported):
+        __, report, ___ = reported
+        html = report.read_text()
+        assert "Phase tree" in html
+        assert "pa.run" in html
+
+    def test_global_ledger_left_disabled_and_empty(self, reported):
+        assert not ledger.get().enabled
+        assert ledger.get().records == []
+
+
+class TestClobberGuard:
+    def test_report_refuses_to_overwrite(self, reported):
+        source, report, __ = reported
+        with pytest.raises(SystemExit) as exc:
+            main(["pa", str(source), "--assembly",
+                  "--report", str(report)])
+        assert "--force" in str(exc.value)
+        # guard fired before the run: the old artifact is untouched
+        assert "total saved" in report.read_text()
+
+    def test_trace_out_refuses_to_overwrite(self, reported, tmp_path):
+        source, __, ___ = reported
+        trace = tmp_path / "trace.json"
+        trace.write_text("[]")
+        with pytest.raises(SystemExit) as exc:
+            main(["pa", str(source), "--assembly",
+                  "--trace-out", str(trace)])
+        assert "--force" in str(exc.value)
+        assert trace.read_text() == "[]"
+
+    def test_force_overwrites(self, reported, tmp_path):
+        source, __, ___ = reported
+        stats = tmp_path / "stats.json"
+        stats.write_text("stale")
+        code = main(["pa", str(source), "--assembly",
+                     "--stats-out", str(stats), "--force"])
+        assert code == 0
+        assert json.loads(stats.read_text())["schema"].startswith(
+            "repro.telemetry.stats/"
+        )
+
+    def test_missing_directory_still_rejected(self, reported):
+        source, __, ___ = reported
+        with pytest.raises(SystemExit):
+            main(["pa", str(source), "--assembly",
+                  "--report", "/nonexistent/dir/report.html"])
+
+
+class TestExplainCommand:
+    def test_explain_round_from_saved_ledger(self, reported, capsys):
+        __, ___, ledger_path = reported
+        assert main(["explain", "0", "--ledger", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Round 0:")
+        assert "winner" in out and "MIS size" in out
+
+    def test_explain_all_digest(self, reported, capsys):
+        __, ___, ledger_path = reported
+        assert main(["explain", "all",
+                     "--ledger", str(ledger_path)]) == 0
+        assert "applied" in capsys.readouterr().out
+
+    def test_explain_missing_round_reports_known_rounds(
+        self, reported, capsys
+    ):
+        __, ___, ledger_path = reported
+        assert main(["explain", "42",
+                     "--ledger", str(ledger_path)]) == 0
+        assert "not present" in capsys.readouterr().out
+
+    def test_explain_rejects_non_integer_round(self, reported):
+        __, ___, ledger_path = reported
+        with pytest.raises(SystemExit):
+            main(["explain", "first", "--ledger", str(ledger_path)])
+
+    def test_explain_reruns_the_workload(self, reported, capsys):
+        source, __, ___ = reported
+        assert main(["explain", "0", "--source", str(source),
+                     "--assembly"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Round 0:")
+        assert "candidate funnel" in out
+        # the rerun cleans up after itself
+        assert not ledger.get().enabled
+        assert ledger.get().records == []

@@ -1,0 +1,92 @@
+"""Graph artifact exporters: DOT and JSON renderings."""
+
+from repro.dfg.builder import build_dfgs
+from repro.report.dot import (
+    collision_to_dot,
+    dfg_to_dot,
+    dfg_to_json,
+    fragment_to_dot,
+)
+
+from tests.conftest import SHARED_FRAGMENT_PROGRAM, module_from_source
+
+
+def _f1_dfg():
+    module = module_from_source(SHARED_FRAGMENT_PROGRAM)
+    dfgs = build_dfgs(module, min_nodes=0)
+    return next(d for d in dfgs if d.origin[0] == "f1")
+
+
+class TestDfgDot:
+    def test_every_instruction_becomes_a_node(self):
+        dfg = _f1_dfg()
+        dot = dfg_to_dot(dfg)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for index, label in enumerate(dfg.labels):
+            assert f'n{index} [label="{index}: {label}"]' in dot
+
+    def test_mined_edges_rendered_with_kind_labels(self):
+        dfg = _f1_dfg()
+        dot = dfg_to_dot(dfg)
+        for src, dst, kind in dfg.edges:
+            assert f"n{src} -> n{dst}" in dot
+        assert 'label="d"' in dot
+
+    def test_highlight_fills_the_embedding(self):
+        dfg = _f1_dfg()
+        dot = dfg_to_dot(dfg, highlight=[1, 2], title="win")
+        assert dot.count("fillcolor") == 2
+        assert 'label="win"' in dot
+
+    def test_full_renders_dep_edges(self):
+        dfg = _f1_dfg()
+        mined = dfg_to_dot(dfg)
+        full = dfg_to_dot(dfg, full=True)
+        assert full.count("->") >= mined.count("->")
+
+    def test_quoting_survives_weird_labels(self):
+        dot = fragment_to_dot(['say "hi"', "back\\slash"], [])
+        assert '\\"hi\\"' in dot
+        assert "back\\\\slash" in dot
+
+
+class TestDfgJson:
+    def test_structure_matches_graph(self):
+        dfg = _f1_dfg()
+        data = dfg_to_json(dfg)
+        assert data["origin"] == ["f1", 0]
+        assert [n["id"] for n in data["nodes"]] == list(
+            range(len(dfg.labels))
+        )
+        assert len(data["edges"]) == len(dfg.edges)
+        assert all(
+            {"src", "dst", "kind"} <= set(e) for e in data["edges"]
+        )
+
+
+class TestFragmentDot:
+    def test_roles_and_edges(self):
+        dot = fragment_to_dot(
+            ["mov r1, #3", "add r3, r1, r2"], [(0, 1, "d")],
+            title="frag",
+        )
+        assert 'r0 [label="0: mov r1, #3"]' in dot
+        assert "r0 -> r1" in dot
+        assert 'label="frag"' in dot
+
+
+class TestCollisionDot:
+    def test_undirected_with_mis_highlighted(self):
+        adjacency = [[1], [0, 2], [1]]
+        dot = collision_to_dot(adjacency, chosen=[0, 2])
+        assert dot.startswith("graph")
+        assert "e0 -- e1" in dot and "e1 -- e2" in dot
+        # each undirected edge appears once
+        assert dot.count("--") == 2
+        assert dot.count("fillcolor") == 2
+
+    def test_empty_graph(self):
+        dot = collision_to_dot([])
+        assert dot.startswith("graph")
+        assert "--" not in dot

@@ -101,6 +101,36 @@ class TestMetrics:
         assert histogram.max == 3.0
         assert histogram.mean == 2.0
 
+    def test_histogram_percentiles_exact_below_reservoir(self, registry):
+        for value in range(1, 101):
+            registry.observe("latency", value)
+        summary = registry.histograms["latency"].as_dict()
+        assert summary["p50"] == 50
+        assert summary["p90"] == 90
+        assert summary["p99"] == 99
+
+    def test_histogram_reservoir_bounded_and_deterministic(self):
+        from repro.telemetry.metrics import MAX_SAMPLES, Histogram
+
+        first, second = Histogram(), Histogram()
+        for value in range(3 * MAX_SAMPLES):
+            first.observe(value)
+            second.observe(value)
+        assert len(first.samples) <= MAX_SAMPLES
+        assert first.stride > 1
+        # no RNG: two identical streams retain identical samples
+        assert first.samples == second.samples
+        assert first.as_dict() == second.as_dict()
+        # decimated percentiles stay close to the true quantiles
+        total = 3 * MAX_SAMPLES
+        assert abs(first.percentile(50) - total / 2) <= first.stride
+        assert abs(first.percentile(99) - total * 0.99) <= 3 * first.stride
+
+    def test_histogram_percentiles_empty(self):
+        from repro.telemetry.metrics import Histogram
+
+        assert Histogram().percentile(50) == 0.0
+
     def test_events_in_order(self, registry):
         registry.event("step", round=0)
         registry.event("step", round=1)

@@ -61,6 +61,29 @@ class TestChromeTrace:
         meta = [e for e in events if e["ph"] == "M"]
         assert meta and meta[0]["args"]["name"] == "bench"
 
+    def test_metadata_names_every_thread(self, populated):
+        import threading
+
+        def worker():
+            with populated.span("background"):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        events = chrome_trace(populated)
+        thread_meta = [
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        # one label per distinct span track, covering every tid
+        assert {e["tid"] for e in thread_meta} == {
+            e["tid"] for e in events if e["ph"] == "X"
+        }
+        names = [e["args"]["name"] for e in thread_meta]
+        assert names[0] == "main"
+        assert any(name.startswith("worker-") for name in names[1:])
+
     def test_non_json_args_stringified(self):
         t = Telemetry()
         t.enable()
@@ -74,10 +97,12 @@ class TestStatsDump:
         path = tmp_path / "stats.json"
         write_stats(populated, str(path))
         stats = json.loads(path.read_text())
-        assert stats["schema"] == "repro.telemetry.stats/1"
+        assert stats["schema"] == "repro.telemetry.stats/2"
         assert stats["counters"]["mining.lattice_nodes"] == 17
         assert stats["gauges"]["depth"] == 2
         assert stats["histograms"]["mis.component_size"]["count"] == 1
+        assert stats["histograms"]["mis.component_size"]["p50"] == 4
+        assert stats["histograms"]["mis.component_size"]["p99"] == 4
         assert stats["events"] == [
             {"name": "pa.extraction", "method": "call", "benefit": 5}
         ]

@@ -133,7 +133,7 @@ def test_pa_telemetry_exports(duplicated_asm, tmp_path, capsys):
     assert any(e.get("ph") == "X" and e["name"] == "pa.run"
                for e in events)
     stats = json.loads(stats_path.read_text())
-    assert stats["schema"] == "repro.telemetry.stats/1"
+    assert stats["schema"] == "repro.telemetry.stats/2"
     assert stats["counters"]["mining.lattice_nodes"] > 0
     assert stats["counters"]["mining.embeddings_enumerated"] > 0
     assert "mis.exact_components" in stats["counters"]
@@ -167,7 +167,7 @@ def test_table1_json_export(tmp_path, capsys):
                  "--json", str(json_path)])
     assert code == 0
     stats = json.loads(json_path.read_text())
-    assert stats["schema"] == "repro.telemetry.stats/1"
+    assert stats["schema"] == "repro.telemetry.stats/2"
     rows = [e for e in stats["events"] if e["name"] == "table1.row"]
     assert {(r["program"], r["engine"]) for r in rows} == {
         ("crc", "sfx"), ("crc", "dgspan"), ("crc", "edgar")
