@@ -5,10 +5,17 @@ Commands
 ``compile``   mini-C source -> assembly listing
 ``run``       compile (or assemble) and execute on the simulator
 ``pa``        run procedural abstraction on a program and report savings
+``lint``      check a program against the module invariants (exit 1 on
+              error findings; ``--json`` for the CI-consumable report)
 ``table1``    regenerate the paper's Table 1 on the bundled workloads
 ``stats``     DFG fan statistics for a program (Tables 2/3 style)
 ``profile``   run a workload under telemetry and print the phase tree
 ``explain``   narrate one abstraction round from the decision ledger
+
+``pa --verify`` translation-validates every extraction round (re-lint +
+symbolic block equivalence, see :mod:`repro.verify.validate`) and exits
+with code 2 when a round cannot be proven equivalent; the counterexample
+lands in the decision ledger (``--ledger-out``).
 
 ``pa``, ``table1`` and ``profile`` accept ``--trace-out FILE`` (Chrome
 ``trace_event`` JSON, viewable in ``chrome://tracing`` / Perfetto) and
@@ -48,6 +55,8 @@ from repro.minicc.driver import compile_to_asm, compile_to_module
 from repro.pa.driver import PAConfig, run_pa
 from repro.pa.sfx import SFXConfig, run_sfx
 from repro.sim.machine import run_image
+from repro.verify.lint import Severity, lint_module
+from repro.verify.validate import TranslationValidationError
 from repro.workloads import PROGRAMS, compile_workload, verify_workload
 
 
@@ -182,23 +191,44 @@ def cmd_run(args) -> int:
 
 
 def cmd_pa(args) -> int:
+    if args.verify and args.engine == "sfx":
+        sys.exit("error: --verify needs a graph engine; the sfx baseline "
+                 "does not go through the round loop the validator hooks")
     traced = _telemetry_begin(args)
     ledgered = _ledger_begin(args)
     module = _load_source(args.source, args.assembly)
     reference = run_image(layout(module), max_steps=args.max_steps)
     before = module.num_instructions
-    with ledger.GLOBAL.context(source=args.source):
-        if args.engine == "sfx":
-            result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
-        else:
-            result = run_pa(module, PAConfig(
-                miner=args.engine,
-                max_nodes=args.max_nodes,
-                time_budget=args.time_budget,
-            ))
+    try:
+        with ledger.GLOBAL.context(source=args.source):
+            if args.engine == "sfx":
+                result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
+            else:
+                result = run_pa(module, PAConfig(
+                    miner=args.engine,
+                    max_nodes=args.max_nodes,
+                    time_budget=args.time_budget,
+                    verify=args.verify,
+                ))
+    except TranslationValidationError as exc:
+        print(f"VERIFICATION FAILED: {exc}", file=sys.stderr)
+        if exc.counterexample is not None:
+            ce = exc.counterexample
+            print(f"  counterexample: {ce.function} block {ce.old_block}, "
+                  f"resource {ce.resource}", file=sys.stderr)
+        if ledgered:
+            _ledger_finish(
+                args,
+                title=f"PA run report — {args.source} ({args.engine})",
+            )
+        if traced:
+            _telemetry_finish(args)
+        return 2
     after = run_image(layout(module), max_steps=args.max_steps)
     status = "OK" if (after.output, after.exit_code) == (
         reference.output, reference.exit_code) else "BEHAVIOUR CHANGED!"
+    if args.verify and status == "OK":
+        status = "OK, verified"
     print(f"{args.engine}: {before} -> {module.num_instructions} "
           f"instructions (saved {result.saved}) in {result.rounds} rounds "
           f"[{status}]")
@@ -216,7 +246,23 @@ def cmd_pa(args) -> int:
         )
     if traced:
         _telemetry_finish(args)
-    return 0 if status == "OK" else 1
+    return 0 if status.startswith("OK") else 1
+
+
+def cmd_lint(args) -> int:
+    """Lint a program against the module invariants (exit 1 on errors)."""
+    module = _load_source(args.source, args.assembly)
+    report = lint_module(module)
+    if args.min_severity != "info":
+        floor = Severity[args.min_severity.upper()]
+        report.findings = [
+            f for f in report.findings if f.severity >= floor
+        ]
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_table1(args) -> int:
@@ -259,6 +305,9 @@ def cmd_table1(args) -> int:
 
 def cmd_profile(args) -> int:
     """Run one workload under full telemetry; print the phase tree."""
+    if args.verify and args.engine == "sfx":
+        sys.exit("error: --verify needs a graph engine; the sfx baseline "
+                 "does not go through the round loop the validator hooks")
     _telemetry_begin(args, force=True)
     module = _load_source(args.source, args.assembly)
     before = module.num_instructions
@@ -269,6 +318,7 @@ def cmd_profile(args) -> int:
             miner=args.engine,
             max_nodes=args.max_nodes,
             time_budget=args.time_budget,
+            verify=args.verify,
         ))
     registry = telemetry.get()
     print(f"{args.source}/{args.engine}: {before} -> "
@@ -357,12 +407,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-budget", type=float, default=600.0)
     p.add_argument("--max-steps", type=int, default=50_000_000)
     p.add_argument("-o", "--output", help="write the compacted assembly")
+    p.add_argument("--verify", action="store_true",
+                   help="translation-validate every round; exit 2 on a "
+                        "counterexample")
     p.add_argument("--report", metavar="FILE",
                    help="write a self-contained HTML run report")
     p.add_argument("--ledger-out", metavar="FILE",
                    help="write the decision ledger as JSONL")
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_pa)
+
+    p = sub.add_parser(
+        "lint",
+        help="check a program against the module invariants",
+    )
+    p.add_argument("source", help="workload name or source path")
+    p.add_argument("--assembly", action="store_true",
+                   help="treat the input as assembly, not mini-C")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON (schema "
+                        "repro.verify.lint/1)")
+    p.add_argument("--min-severity", choices=("info", "warning", "error"),
+                   default="info",
+                   help="drop findings below this severity")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "explain",
@@ -400,6 +468,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--assembly", action="store_true")
     p.add_argument("--max-nodes", type=int, default=8)
     p.add_argument("--time-budget", type=float, default=600.0)
+    p.add_argument("--verify", action="store_true",
+                   help="translation-validate every round, so the tree "
+                        "shows verification cost alongside mining")
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_profile)
 

@@ -42,6 +42,7 @@ from repro.pa.legality import (
     legal_embeddings,
 )
 from repro.pa.liveness import lr_live_out_blocks
+from repro.verify.validate import snapshot_module, verify_round
 
 
 @dataclass
@@ -77,6 +78,12 @@ class PAConfig:
     #: degrades gracefully instead of running for the paper's "night or
     #: weekend" (§1) on pathological inputs like rijndael (§4.2).
     time_budget: Optional[float] = 600.0
+    #: Translation-validate every round: re-lint the module and prove
+    #: each rewritten block symbolically equivalent to its original
+    #: (:mod:`repro.verify.validate`).  A failure aborts the run with a
+    #: :class:`~repro.verify.validate.TranslationValidationError` whose
+    #: counterexample is also written to the decision ledger.
+    verify: bool = False
 
 
 @dataclass
@@ -582,9 +589,20 @@ def _run_pa(module: Module, config: PAConfig) -> PAResult:
             if not config.batch:
                 candidates = candidates[:1]
             before_apply = module.num_instructions
+            if config.verify:
+                # Captured before the rewrite: the validator compares
+                # against this state, and the pre-round lr liveness is
+                # what makes the inserted bl's lr clobber excusable.
+                snapshot = snapshot_module(module)
+                pre_lr_live = lr_live_out_blocks(module)
             with _TELEMETRY.span("pa.apply", round=round_index):
                 records, touched_blocks, touched_functions = apply_batch(
                     module, config, candidates
+                )
+            if config.verify and records:
+                verify_round(
+                    module, snapshot, records, pre_lr_live,
+                    round_index=round_index,
                 )
             if not records:
                 if _LEDGER.enabled:

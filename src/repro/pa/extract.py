@@ -101,6 +101,27 @@ def body_order(
     return [insns[role] for role in order]
 
 
+def call_body(ordered: Sequence[Instruction]) -> List[Instruction]:
+    """The outlined procedure's body for an already-ordered fragment.
+
+    A fragment containing a ``bl`` gets the ``push {lr}`` / ``pop {pc}``
+    bracket (legality guarantees nothing inside touches ``sp``, so the
+    one-word shift is invisible); otherwise a bare ``mov pc, lr`` return
+    suffices.  This is the exact shape ``verify.validate.outlined_body``
+    inverts when the translation validator inlines calls back.
+    """
+    contains_call = any(i.is_call for i in ordered)
+    body: List[Instruction] = []
+    if contains_call:
+        body.append(Instruction("push", (RegList((LR,)),)))
+    body.extend(ordered)
+    if contains_call:
+        body.append(Instruction("pop", (RegList((PC,)),)))
+    else:
+        body.append(Instruction("mov", (Reg(PC), Reg(LR))))
+    return body
+
+
 def call_site_feasible(dfg: DFG, nodes: Iterable[int]) -> bool:
     """Can a ``bl`` replace this occurrence without breaking ``lr``?
 
@@ -218,15 +239,7 @@ def extract_call(
         _TELEMETRY.count("extract.calls")
         _TELEMETRY.count("extract.call_sites", len(embeddings))
     ordered = body_order(insns, union_edges)
-    contains_call = any(i.is_call for i in ordered)
-    body: List[Instruction] = []
-    if contains_call:
-        body.append(Instruction("push", (RegList((LR,)),)))
-    body.extend(ordered)
-    if contains_call:
-        body.append(Instruction("pop", (RegList((PC,)),)))
-    else:
-        body.append(Instruction("mov", (Reg(PC), Reg(LR))))
+    body = call_body(ordered)
     new_func = Function(name=name, blocks=[BasicBlock(instructions=body)])
 
     call_insn = Instruction("bl", (LabelRef(name),))

@@ -134,7 +134,15 @@ def embedding_legal(
         if not is_convex(dfg, node_set):
             return False
         # The occurrence must not contain the block's final control
-        # transfer (that case is cross-jump territory).
+        # transfer (that case is cross-jump territory).  classify_fragment
+        # already guarantees this — a fragment containing any transfer is
+        # routed to cross-jump — but a bl replacing the block terminator
+        # would be a miscompile, so the guarantee is re-checked here
+        # rather than trusted across module boundaries.
+        for node in node_set:
+            insn = dfg.insns[node]
+            if insn.is_terminator or (insn.is_branch and not insn.is_call):
+                return False
         return True
     # cross-jump: must contain the last instruction and be successor-closed
     if dfg.num_nodes - 1 not in node_set:

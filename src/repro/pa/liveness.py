@@ -10,11 +10,14 @@ tail in a different function.  A per-block check is therefore unsound
 instructions from an earlier-outlined procedure whose ``mov pc, lr``
 had been tail-merged away).
 
-This module computes, over the *whole module's* block graph (branch
-labels resolve across function boundaries, exactly because cross-jump
-tails are shared), the set of blocks whose ``lr`` is live-out.  Call
-extraction is forbidden in those blocks; everywhere else the in-block
-ordering constraints are sufficient.
+Historically this module carried its own single-register fixpoint; it is
+now a thin wrapper over the generic framework in :mod:`repro.verify` —
+the module-wide CFG (:func:`repro.verify.cfg.build_module_cfg`, which
+keeps the crucial property that branch labels resolve across function
+boundaries) and the full per-register liveness pass
+(:mod:`repro.verify.passes`).  The legality gate and the translation
+validator therefore consume the same analysis, from opposite sides: one
+to block unsound rewrites, the other to prove the applied ones sound.
 """
 
 from __future__ import annotations
@@ -23,82 +26,23 @@ from typing import Dict, List, Set, Tuple
 
 from repro.isa.registers import LR
 
-from repro.binary.program import BasicBlock, Module
+from repro.binary.program import Module
+from repro.verify.cfg import build_module_cfg
+from repro.verify.passes import live_out_blocks
 
 BlockKey = Tuple[str, int]
 
 
-def _block_summary(block: BasicBlock) -> Tuple[bool, bool]:
-    """(reads lr before any kill, kills lr) for one block.
-
-    A kill only counts when unconditional — a predicated write may not
-    execute.  ``bl`` writes ``lr`` unconditionally in the generated
-    code; predicated calls are treated conservatively as non-killing.
-    """
-    reads_first = False
-    kills = False
-    for insn in block.instructions:
-        if LR in insn.regs_read():
-            if not kills:
-                reads_first = True
-        if LR in insn.regs_written() and not insn.is_conditional:
-            kills = True
-    return reads_first, kills
-
-
 def _successors(module: Module) -> Dict[BlockKey, List[BlockKey]]:
-    """Module-wide successor map; labels resolve across functions."""
-    label_to_block: Dict[str, BlockKey] = {}
-    ordered: List[Tuple[BlockKey, BasicBlock]] = []
-    for func in module.functions:
-        for bi, block in enumerate(func.blocks):
-            key = (func.name, bi)
-            ordered.append((key, block))
-            if bi == 0:
-                label_to_block.setdefault(func.name, key)
-            for label in block.labels:
-                label_to_block[label] = key
+    """Module-wide successor map; labels resolve across functions.
 
-    succ: Dict[BlockKey, List[BlockKey]] = {}
-    for index, (key, block) in enumerate(ordered):
-        targets: List[BlockKey] = []
-        falls_through = True
-        for insn in block.instructions:
-            if insn.is_branch and not insn.is_call:
-                target = insn.label_target
-                if target is not None and target in label_to_block:
-                    targets.append(label_to_block[target])
-                if not insn.is_conditional:
-                    falls_through = False
-            elif insn.is_terminator and not insn.is_conditional:
-                falls_through = False  # return / pc write: no successor
-        if falls_through and index + 1 < len(ordered):
-            next_key, __ = ordered[index + 1]
-            if next_key[0] == key[0]:
-                targets.append(next_key)
-        succ[key] = targets
-    return succ
+    Compatibility shim over :func:`repro.verify.cfg.build_module_cfg`,
+    kept because the successor map is a useful standalone artifact in
+    tests and notebooks.
+    """
+    return build_module_cfg(module).succ
 
 
 def lr_live_out_blocks(module: Module) -> Set[BlockKey]:
     """Blocks whose ``lr`` value is consumed on some path after them."""
-    summaries: Dict[BlockKey, Tuple[bool, bool]] = {}
-    for func in module.functions:
-        for bi, block in enumerate(func.blocks):
-            summaries[(func.name, bi)] = _block_summary(block)
-    succ = _successors(module)
-
-    live_in: Dict[BlockKey, bool] = {key: False for key in summaries}
-    live_out: Dict[BlockKey, bool] = {key: False for key in summaries}
-    changed = True
-    while changed:
-        changed = False
-        for key in summaries:
-            out = any(live_in[s] for s in succ[key])
-            reads_first, kills = summaries[key]
-            inn = reads_first or (not kills and out)
-            if out != live_out[key] or inn != live_in[key]:
-                live_out[key] = out
-                live_in[key] = inn
-                changed = True
-    return {key for key, live in live_out.items() if live}
+    return live_out_blocks(module, LR)

@@ -55,6 +55,17 @@ extraction driver — one record per applied extraction: mechanism,
            collision graph MIS solved
 rewrite    extractor — low-level confirmation that a rewrite landed:
            mechanism, symbol, occurrence count
+verify.round
+           translation validator (``pa --verify``) — per-round
+           summary: blocks checked / identical, lr exemptions, new
+           symbols
+verify.lint
+           translation validator — a post-round lint regression; the
+           error findings inline (the round is then aborted)
+verify.counterexample
+           translation validator — an equivalence failure: function,
+           old/new block indices, the disagreeing resource, both
+           symbolic terms, and both instruction listings
 run.end    driver — rounds, saved instructions, elapsed seconds, and
            the per-type dropped-record census
 ========== ==========================================================

@@ -1,0 +1,124 @@
+"""A generic worklist solver for dataflow analyses over the module CFG.
+
+An analysis describes a direction, a join, a per-block transfer function
+and the boundary facts; the solver iterates transfers to a fixpoint.
+All the concrete passes in :mod:`repro.verify.passes` — and through
+them, the legality analysis in :mod:`repro.pa.liveness` — share this
+single solver, so there is exactly one fixpoint loop in the system to
+get right (the previous single-purpose lr solver iterated over *all*
+blocks per round; this one is worklist-driven and touches only blocks
+whose inputs changed).
+
+Facts must be immutable values with ``==`` (frozensets, tuples, small
+dataclasses).  Termination is the analysis author's obligation: joins
+must be monotone over a finite lattice, as all bundled passes are.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generic, TypeVar
+
+from repro.binary.program import BasicBlock
+from repro.telemetry import GLOBAL as _TELEMETRY
+
+from repro.verify.cfg import BlockKey, ModuleCFG
+
+Fact = TypeVar("Fact")
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class Analysis(Generic[Fact]):
+    """Base class describing one dataflow problem.
+
+    Subclasses set :attr:`direction` and implement the four hooks.  The
+    solver calls ``transfer(key, block, fact)`` with the block's *input*
+    fact (the in-fact for forward problems, the out-fact for backward
+    ones) and expects the corresponding output fact.
+    """
+
+    direction: str = FORWARD
+
+    def boundary(self, cfg: ModuleCFG, key: BlockKey) -> Fact:
+        """Fact injected at boundary nodes (entries / CFG exits)."""
+        raise NotImplementedError
+
+    def initial(self, cfg: ModuleCFG, key: BlockKey) -> Fact:
+        """Optimistic starting fact for every block (lattice bottom)."""
+        raise NotImplementedError
+
+    def join(self, a: Fact, b: Fact) -> Fact:
+        raise NotImplementedError
+
+    def transfer(self, key: BlockKey, block: BasicBlock, fact: Fact) -> Fact:
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult(Generic[Fact]):
+    """Fixpoint facts of one analysis run.
+
+    ``in_facts[key]`` holds the fact at block entry, ``out_facts[key]``
+    at block exit, regardless of the analysis direction.
+    """
+
+    in_facts: Dict[BlockKey, Any] = field(default_factory=dict)
+    out_facts: Dict[BlockKey, Any] = field(default_factory=dict)
+    iterations: int = 0
+
+
+def solve(cfg: ModuleCFG, analysis: Analysis) -> DataflowResult:
+    """Run *analysis* over *cfg* to a fixpoint with a FIFO worklist."""
+    forward = analysis.direction == FORWARD
+    edges_in = cfg.pred if forward else cfg.succ
+    edges_out = cfg.succ if forward else cfg.pred
+
+    # boundary nodes: where facts enter the CFG for this direction
+    if forward:
+        boundary_keys = set(cfg.entries)
+    else:
+        boundary_keys = set(cfg.exits())
+
+    inputs: Dict[BlockKey, Any] = {}
+    outputs: Dict[BlockKey, Any] = {}
+    for key in cfg.keys:
+        inputs[key] = analysis.initial(cfg, key)
+        if key in boundary_keys:
+            inputs[key] = analysis.join(
+                inputs[key], analysis.boundary(cfg, key)
+            )
+        outputs[key] = analysis.transfer(key, cfg.blocks[key], inputs[key])
+
+    worklist = deque(cfg.keys if forward else reversed(cfg.keys))
+    queued = set(worklist)
+    iterations = 0
+    while worklist:
+        key = worklist.popleft()
+        queued.discard(key)
+        iterations += 1
+        fact = analysis.initial(cfg, key)
+        if key in boundary_keys:
+            fact = analysis.join(fact, analysis.boundary(cfg, key))
+        for source in edges_in[key]:
+            fact = analysis.join(fact, outputs[source])
+        inputs[key] = fact
+        new_out = analysis.transfer(key, cfg.blocks[key], fact)
+        if new_out != outputs[key]:
+            outputs[key] = new_out
+            for dependent in edges_out[key]:
+                if dependent not in queued:
+                    queued.add(dependent)
+                    worklist.append(dependent)
+
+    if _TELEMETRY.enabled:
+        _TELEMETRY.count("verify.solver.runs")
+        _TELEMETRY.count("verify.solver.iterations", iterations)
+
+    if forward:
+        return DataflowResult(in_facts=inputs, out_facts=outputs,
+                              iterations=iterations)
+    return DataflowResult(in_facts=outputs, out_facts=inputs,
+                          iterations=iterations)

@@ -1,0 +1,527 @@
+"""Concrete dataflow passes over the module CFG.
+
+Four analyses, all built on the generic solver of
+:mod:`repro.verify.dataflow`:
+
+* :class:`LivenessAnalysis` — full per-resource liveness (all sixteen
+  registers plus the NZCV flags), backward.  The lr-only special case
+  that patched the rijndael miscompile is now the single-register
+  projection :func:`live_out_blocks`.
+* :class:`MaybeUndefAnalysis` — forward "possibly undefined" resource
+  tracking.  Function entries start with the flags undefined (the AAPCS
+  makes no promise about NZCV), and a call leaves the caller-saved
+  scratch registers ``r1``-``r3``/``r12`` and the flags holding callee
+  garbage.
+* :class:`FlagDefAnalysis` — condition-flag def-use: which flag-setting
+  sites reach each flag consumer.  The definition sites distinguish
+  real setters from call clobbers and from the undefined entry state,
+  which is what the linter's ``undefined-flag-read`` rule keys on.
+* :class:`StackDepthAnalysis` — forward per-function stack depth (bytes
+  pushed since function entry) as a small set of possibilities;
+  ``TOP`` when ``sp`` escapes affine tracking.
+
+Resources are register numbers ``0..15`` plus the string ``"flags"``;
+memory is deliberately not a liveness resource here (the DFG builder
+owns memory ordering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.binary.program import BasicBlock, Module
+from repro.dfg.builder import FLAGS, MEM, _accesses
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import SP
+from repro.telemetry import GLOBAL as _TELEMETRY
+
+from repro.verify.cfg import BlockKey, ModuleCFG, build_module_cfg
+from repro.verify.dataflow import (
+    BACKWARD,
+    FORWARD,
+    Analysis,
+    DataflowResult,
+    solve,
+)
+
+Resource = object  # int register number or the FLAGS string
+
+EMPTY: FrozenSet[Resource] = frozenset()
+
+#: Registers a ``bl`` leaves holding callee garbage (caller-saved
+#: scratch minus the return-value register).
+CALL_CLOBBERED: FrozenSet[Resource] = frozenset({1, 2, 3, 12, FLAGS})
+
+
+def insn_accesses(insn: Instruction) -> Tuple[Set[Resource], Set[Resource]]:
+    """(reads, writes) register/flag resources — the DFG builder's
+    model with the memory pseudo-resource filtered out."""
+    reads, writes = _accesses(insn)
+    reads.discard(MEM)
+    writes.discard(MEM)
+    return reads, writes
+
+
+# ----------------------------------------------------------------------
+# liveness
+# ----------------------------------------------------------------------
+class LivenessAnalysis(Analysis):
+    """Backward may-liveness of registers and flags.
+
+    A write kills only when unconditional (a predicated write may not
+    execute); every read — including the implicit flags read of a
+    predicated instruction — generates.  Nothing is assumed live at CFG
+    exits: a return's ``lr``/``r0`` reads are explicit in the
+    instruction model, so the boundary stays empty.
+    """
+
+    direction = BACKWARD
+
+    def boundary(self, cfg: ModuleCFG, key: BlockKey) -> FrozenSet[Resource]:
+        return EMPTY
+
+    def initial(self, cfg: ModuleCFG, key: BlockKey) -> FrozenSet[Resource]:
+        return EMPTY
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, key: BlockKey, block: BasicBlock, live_out):
+        live = set(live_out)
+        for insn in reversed(block.instructions):
+            reads, writes = insn_accesses(insn)
+            if not insn.is_conditional:
+                live -= writes
+            live |= reads
+        return frozenset(live)
+
+
+def liveness(module: Module,
+             cfg: Optional[ModuleCFG] = None) -> DataflowResult:
+    """Solve full liveness; facts are frozensets of live resources."""
+    cfg = cfg or build_module_cfg(module)
+    with _TELEMETRY.span("verify.pass", analysis="liveness"):
+        return solve(cfg, LivenessAnalysis())
+
+
+def live_out_blocks(module: Module, resource: Resource,
+                    cfg: Optional[ModuleCFG] = None) -> Set[BlockKey]:
+    """Blocks whose *resource* is consumed on some path after them."""
+    result = liveness(module, cfg)
+    return {
+        key for key, live in result.out_facts.items() if resource in live
+    }
+
+
+# ----------------------------------------------------------------------
+# possibly-undefined resources
+# ----------------------------------------------------------------------
+class MaybeUndefAnalysis(Analysis):
+    """Forward may-analysis of undefined registers and flags.
+
+    At a function entry every register holds the caller's value — a
+    legitimate thing to read (prologues save callee-saved registers by
+    reading them) — but the flags are undefined.  After a call, the
+    flags and the non-result scratch registers hold callee garbage.  A
+    conditional write does not definitely define.
+    """
+
+    direction = FORWARD
+
+    def boundary(self, cfg: ModuleCFG, key: BlockKey) -> FrozenSet[Resource]:
+        return frozenset({FLAGS})
+
+    def initial(self, cfg: ModuleCFG, key: BlockKey) -> FrozenSet[Resource]:
+        return EMPTY
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, key: BlockKey, block: BasicBlock, undef):
+        state = set(undef)
+        for insn in block.instructions:
+            step_undef(state, insn)
+        return frozenset(state)
+
+
+def step_undef(state: Set[Resource], insn: Instruction) -> None:
+    """Advance the possibly-undefined set across one instruction."""
+    __, writes = insn_accesses(insn)
+    clobbers = call_clobbers(insn)
+    if not insn.is_conditional:
+        state -= writes - clobbers
+    state |= clobbers
+
+
+def call_clobbers(insn: Instruction) -> FrozenSet[Resource]:
+    """Resources an instruction leaves in an unspecified state."""
+    if insn.is_call:
+        return CALL_CLOBBERED
+    if insn.mnemonic == "swi":
+        return frozenset({FLAGS})
+    return EMPTY
+
+
+def maybe_undef(module: Module,
+                cfg: Optional[ModuleCFG] = None) -> DataflowResult:
+    cfg = cfg or build_module_cfg(module)
+    with _TELEMETRY.span("verify.pass", analysis="maybe_undef"):
+        return solve(cfg, MaybeUndefAnalysis())
+
+
+# ----------------------------------------------------------------------
+# condition-flag def-use
+# ----------------------------------------------------------------------
+#: Flag definition sites.  ``("set", func, block, index)`` is a real
+#: flag-setting instruction *or* a call to a flag-writing callee,
+#: ``("clobber", func, block, index)`` a call to a callee outside the
+#: module (NZCV unspecified per the AAPCS), ``("undef", func)`` the
+#: entry state.
+FlagDef = Tuple
+
+UseSite = Tuple[str, int, int]
+
+#: Per-function flag effect: "none" (NZCV provably preserved), "may"
+#: (some path writes), "must" (every return is preceded by a write).
+FlagEffect = str
+
+
+class FlagDefinedAnalysis(Analysis):
+    """Forward must-analysis: are the flags definitely written since
+    function entry?  Needed to decide whether a callee *must* define
+    NZCV before returning (the common case for outlined comparison
+    fragments)."""
+
+    direction = FORWARD
+
+    def __init__(self, summaries: Dict[str, FlagEffect]):
+        self.summaries = summaries
+
+    def boundary(self, cfg: ModuleCFG, key: BlockKey) -> bool:
+        return False
+
+    def initial(self, cfg: ModuleCFG, key: BlockKey) -> bool:
+        return True  # optimistic for a must-analysis
+
+    def join(self, a, b):
+        return a and b
+
+    def transfer(self, key: BlockKey, block: BasicBlock, defined):
+        for insn in block.instructions:
+            defined = step_flag_defined(defined, insn, self.summaries)
+        return defined
+
+
+def step_flag_defined(defined: bool, insn: Instruction,
+                      summaries: Dict[str, FlagEffect]) -> bool:
+    """Advance the "flags definitely written" fact by one instruction."""
+    if insn.writes_flags() and not insn.is_conditional:
+        return True
+    if insn.is_call:
+        effect = summaries.get(insn.label_target)
+        if effect == "must":
+            return True
+        if effect is None:
+            return False  # unknown callee: NZCV unspecified
+        # "may"/"none": whatever held before still holds (the callee's
+        # write, when it happens, is itself a definition)
+    return defined
+
+
+def flag_effect_summaries(
+    module: Module, cfg: Optional[ModuleCFG] = None, max_iterations: int = 5
+) -> Dict[str, FlagEffect]:
+    """Per-function NZCV effect, iterated over the call graph.
+
+    The simulator's ``swi`` syscalls never touch NZCV, and every callee
+    in a linted module is visible, so calls can be classified precisely:
+    an outlined helper whose body carries no flag setter is transparent,
+    and one whose body unconditionally compares *defines* the flags its
+    caller then branches on — both shapes the extractor produces on
+    purpose.
+    """
+    cfg = cfg or build_module_cfg(module)
+    names = {func.name for func in module.functions}
+    reach: Dict[str, Set[BlockKey]] = {
+        func.name: (cfg.reachable([(func.name, 0)]) if func.blocks
+                    else set())
+        for func in module.functions
+    }
+    summaries: Dict[str, FlagEffect] = {name: "none" for name in names}
+    for __ in range(max_iterations):
+        result = solve(cfg, FlagDefinedAnalysis(summaries))
+        updated: Dict[str, FlagEffect] = {}
+        for func in module.functions:
+            may = False
+            for key in reach[func.name]:
+                for insn in cfg.blocks[key].instructions:
+                    if insn.writes_flags():
+                        may = True
+                    elif insn.is_call:
+                        target = insn.label_target
+                        if target not in names \
+                                or summaries[target] != "none":
+                            may = True
+            if not may:
+                updated[func.name] = "none"
+                continue
+            must = True
+            for key in reach[func.name]:
+                defined = result.in_facts[key]
+                for insn in cfg.blocks[key].instructions:
+                    if insn.is_return and not defined:
+                        must = False
+                    defined = step_flag_defined(defined, insn, summaries)
+            updated[func.name] = "must" if must else "may"
+        if updated == summaries:
+            break
+        summaries = updated
+    return summaries
+
+
+class FlagDefAnalysis(Analysis):
+    """Forward reaching-definitions restricted to the NZCV flags."""
+
+    direction = FORWARD
+
+    def __init__(self, summaries: Dict[str, FlagEffect]):
+        self.summaries = summaries
+
+    def boundary(self, cfg: ModuleCFG, key: BlockKey) -> FrozenSet[FlagDef]:
+        return frozenset({("undef", key[0])})
+
+    def initial(self, cfg: ModuleCFG, key: BlockKey) -> FrozenSet[FlagDef]:
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, key: BlockKey, block: BasicBlock, defs):
+        state = set(defs)
+        for index, insn in enumerate(block.instructions):
+            step_flag_defs(state, key, index, insn, self.summaries)
+        return frozenset(state)
+
+
+def step_flag_defs(state: Set[FlagDef], key: BlockKey, index: int,
+                   insn: Instruction,
+                   summaries: Dict[str, FlagEffect]) -> None:
+    """Advance the reaching flag-definition set across one instruction.
+
+    ``swi`` is transparent (the simulator's syscalls preserve NZCV);
+    calls are classified by *summaries* — transparent, a definition, or
+    (for callees outside the module) a clobber.
+    """
+    if insn.writes_flags():
+        site = ("set", key[0], key[1], index)
+        if insn.is_conditional:
+            state.add(site)      # may execute: old defs survive
+        else:
+            state.clear()
+            state.add(site)
+    elif insn.is_call:
+        effect = summaries.get(insn.label_target)
+        if effect == "must":
+            state.clear()
+            state.add(("set", key[0], key[1], index))
+        elif effect == "may":
+            state.add(("set", key[0], key[1], index))
+        elif effect is None:
+            state.clear()
+            state.add(("clobber", key[0], key[1], index))
+        # "none": the callee provably preserves NZCV
+
+
+def flag_def_use(
+    module: Module, cfg: Optional[ModuleCFG] = None
+) -> Dict[UseSite, FrozenSet[FlagDef]]:
+    """Def-use chains for the flags: use site -> reaching definitions."""
+    cfg = cfg or build_module_cfg(module)
+    summaries = flag_effect_summaries(module, cfg)
+    with _TELEMETRY.span("verify.pass", analysis="flag_def_use"):
+        result = solve(cfg, FlagDefAnalysis(summaries))
+    chains: Dict[UseSite, FrozenSet[FlagDef]] = {}
+    for key in cfg.keys:
+        state = set(result.in_facts[key])
+        for index, insn in enumerate(cfg.blocks[key].instructions):
+            if insn.reads_flags():
+                chains[(key[0], key[1], index)] = frozenset(state)
+            step_flag_defs(state, key, index, insn, summaries)
+    return chains
+
+
+# ----------------------------------------------------------------------
+# stack depth
+# ----------------------------------------------------------------------
+#: ``TOP`` means sp escaped affine tracking (e.g. ``mov sp, r0``).
+TOP = None
+
+#: Beyond this many distinct depths the fact widens to TOP — both a
+#: termination guarantee (an unbalanced loop otherwise grows the set
+#: forever) and a report-noise cap.
+MAX_DEPTHS = 16
+
+
+def sp_delta(insn: Instruction,
+             summaries: Optional[Dict[str, Optional[int]]] = None
+             ) -> Optional[int]:
+    """Bytes of stack the instruction *grows* (sp decrement positive).
+
+    Returns 0 for instructions that leave ``sp`` alone and ``None`` when
+    the effect cannot be tracked affinely.  *summaries* supplies the net
+    stack effect of called functions (see :func:`function_summaries`);
+    without it calls are assumed balanced — true for convention-
+    respecting code, but an outlined helper may legitimately carry an
+    unmatched ``push`` or ``pop`` that its call sites compensate.
+    """
+    if insn.mnemonic == "push":
+        return 4 * len(insn.operands[0].regs)
+    if insn.mnemonic == "pop":
+        regs = insn.operands[0].regs
+        if SP in regs:
+            return None  # pop into sp: value comes from memory
+        return -4 * len(regs)
+    if insn.is_call:
+        if summaries is None:
+            return 0
+        return summaries.get(insn.label_target, 0)
+    writes_sp = SP in insn.regs_written()
+    if not writes_sp:
+        return 0
+    if (
+        insn.mnemonic in ("add", "sub")
+        and insn.operands[0] == Reg(SP)
+        and insn.operands[1] == Reg(SP)
+        and isinstance(insn.operands[2], Imm)
+    ):
+        value = insn.operands[2].value
+        return value if insn.mnemonic == "sub" else -value
+    if insn.mnemonic in ("ldr", "ldrb", "str", "strb"):
+        mem = insn.operands[1]
+        if isinstance(mem, Mem) and mem.writeback and mem.base == SP \
+                and mem.index is None:
+            return -mem.offset  # writeback adds the offset to sp
+    return None
+
+
+class StackDepthAnalysis(Analysis):
+    """Forward per-function stack depth in bytes since function entry.
+
+    Facts are frozensets of possible depths, or :data:`TOP`.  Function
+    entries start at depth 0; cross-function edges (shared cross-jump
+    tails) simply propagate the feeders' depths, which agree in any
+    balanced program.
+    """
+
+    direction = FORWARD
+
+    def __init__(self,
+                 summaries: Optional[Dict[str, Optional[int]]] = None):
+        self.summaries = summaries
+
+    def boundary(self, cfg: ModuleCFG, key: BlockKey):
+        return frozenset({0})
+
+    def initial(self, cfg: ModuleCFG, key: BlockKey):
+        return frozenset()
+
+    def join(self, a, b):
+        if a is TOP or b is TOP:
+            return TOP
+        merged = a | b
+        return TOP if len(merged) > MAX_DEPTHS else merged
+
+    def transfer(self, key: BlockKey, block: BasicBlock, depths):
+        for insn in block.instructions:
+            depths = step_depth(depths, insn, self.summaries)
+        return depths
+
+
+def step_depth(depths, insn: Instruction,
+               summaries: Optional[Dict[str, Optional[int]]] = None):
+    """Advance a depth set across one instruction (TOP-propagating)."""
+    if depths is TOP:
+        return TOP
+    delta = sp_delta(insn, summaries)
+    if delta is None:
+        return TOP
+    if delta == 0:
+        return depths
+    moved = frozenset(d + delta for d in depths)
+    if insn.is_conditional:
+        moved = moved | depths
+    return TOP if len(moved) > MAX_DEPTHS else moved
+
+
+def return_depth(cfg: ModuleCFG, result: DataflowResult, key: BlockKey,
+                 index: int,
+                 summaries: Optional[Dict[str, Optional[int]]] = None):
+    """Depth set at the moment a return at (*key*, *index*) transfers.
+
+    For ``pop {…, pc}`` the pop has restored ``sp`` by the time control
+    leaves; for lr-based returns ``sp`` is unchanged.
+    """
+    depths = result.in_facts[key]
+    block = cfg.blocks[key]
+    for ii in range(index):
+        depths = step_depth(depths, block.instructions[ii], summaries)
+    insn = block.instructions[index]
+    if insn.mnemonic == "pop":
+        depths = step_depth(depths, insn, summaries)
+    return depths
+
+
+def function_summaries(
+    module: Module, cfg: Optional[ModuleCFG] = None, max_iterations: int = 4
+) -> Dict[str, Optional[int]]:
+    """Net stack effect of every function (bytes grown at return).
+
+    Convention-respecting functions summarize to 0; an outlined helper
+    with an unmatched ``push`` summarizes to its residue.  ``TOP`` when
+    the function's returns disagree or escape tracking.  Summaries are
+    iterated to a fixpoint so helpers-calling-helpers resolve.
+    """
+    cfg = cfg or build_module_cfg(module)
+    reach_cache: Dict[str, set] = {}
+    summaries: Dict[str, Optional[int]] = {}
+    for __ in range(max_iterations):
+        result = solve(cfg, StackDepthAnalysis(summaries))
+        updated: Dict[str, Optional[int]] = {}
+        for func in module.functions:
+            if not func.blocks:
+                updated[func.name] = 0
+                continue
+            if func.name not in reach_cache:
+                reach_cache[func.name] = cfg.reachable([(func.name, 0)])
+            depths_seen = set()
+            top = False
+            for key in reach_cache[func.name]:
+                block = cfg.blocks[key]
+                for ii, insn in enumerate(block.instructions):
+                    if insn.is_return:
+                        at = return_depth(cfg, result, key, ii, summaries)
+                        if at is TOP:
+                            top = True
+                        else:
+                            depths_seen |= at
+            if top or len(depths_seen) > 1:
+                updated[func.name] = TOP
+            elif depths_seen:
+                updated[func.name] = depths_seen.pop()
+            else:
+                updated[func.name] = 0  # never returns (exits via swi)
+        if updated == summaries:
+            break
+        summaries = updated
+    return summaries
+
+
+def stack_depths(
+    module: Module,
+    cfg: Optional[ModuleCFG] = None,
+    summaries: Optional[Dict[str, Optional[int]]] = None,
+) -> DataflowResult:
+    cfg = cfg or build_module_cfg(module)
+    with _TELEMETRY.span("verify.pass", analysis="stack_depth"):
+        return solve(cfg, StackDepthAnalysis(summaries))

@@ -1,0 +1,442 @@
+"""Symbolic per-block evaluation for translation validation.
+
+Evaluating a basic block symbolically yields, for every architectural
+resource, a *term* — a nested tuple describing the value as a function
+of the block's inputs.  Two instruction sequences that produce equal
+terms for every register, the flags, memory, and the control-flow exit
+compute the same thing, whatever the concrete inputs were.  That is
+exactly the obligation the translation validator discharges: extraction
+only relinearizes (within the dependence order) and outlines code, so
+the rewritten block — with this round's outlined calls inlined back and
+cross-jump tails followed — must evaluate to *structurally identical*
+terms.
+
+Term grammar (all hashable nested tuples)::
+
+    ("init", r)                 resource value at block entry
+                                (r = register number, "flags", "mem")
+    ("const", v)                a known integer
+    ("label", name)             the address of a label
+    ("retaddr", n)              lr after the n-th inlined call
+    (mnemonic, a, b[, flags])   a data-processing result
+    ("mvn", a) / ("zext8", a)   unary operators
+    (shift_op, a, amount)       a shifted operand (lsl/lsr/asr/ror)
+    ("flagsof", m, ...)         NZCV after a flag-setting instruction
+    ("cond", cc, flags)         a condition evaluated against flags
+    ("ite", c, t, e)            conditional merge
+    ("select", mem, addr, w)    a w-byte load
+    ("store", mem, addr, w, v)  memory after a w-byte store
+    ("call", n, f, ...)         the n-th opaque call's effect node
+    ("swi", n, imm, ...)        the n-th software interrupt's effect
+    ("fx", effect, field)       one output of an opaque effect
+    ("fall",)                   fall-through exit
+
+Opaque calls are numbered by a per-evaluation sequence counter, so the
+k-th call of the original block and the k-th call of the rewritten block
+(inlined calls excluded — they were not calls before the rewrite) yield
+the same effect node given the same inputs.  Soundness note: every
+simplification here (read-over-write, ``lsl #0``, constant folding)
+maps a term to a semantically equal term, so equal final terms really do
+imply equivalence; the converse direction is deliberately incomplete —
+a mismatch may be a false alarm in principle, but for the transformations
+the extractor performs (dependence-respecting relinearization plus
+outlining) term shapes are preserved exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import (
+    CARRY_READERS,
+    DATAPROC_3OP,
+    DATAPROC_COMPARE,
+    Instruction,
+)
+from repro.isa.operands import Imm, LabelRef, Mem, Reg, ShiftedReg
+from repro.isa.registers import LR, PC, SP
+
+Term = tuple
+
+#: The fall-through exit marker.
+FALL: Term = ("fall",)
+
+#: Longest cross-jump tail chain the evaluator will follow.
+MAX_TAIL_CHAIN = 16
+
+
+class SymEvalError(Exception):
+    """The evaluator met a shape it cannot model soundly.
+
+    The validator treats this as a verification failure (cannot prove),
+    never as a pass.
+    """
+
+
+def init_reg(r: int) -> Term:
+    return ("init", r)
+
+
+@dataclass
+class SymState:
+    """Symbolic machine state: 16 registers, flags, memory, exit."""
+
+    regs: List[Term] = field(
+        default_factory=lambda: [init_reg(r) for r in range(16)]
+    )
+    flags: Term = ("init", "flags")
+    mem: Term = ("init", "mem")
+    #: Control-flow exit term; None while the block is still running.
+    exit: Optional[Term] = None
+
+
+# ----------------------------------------------------------------------
+# term helpers
+# ----------------------------------------------------------------------
+def add_const(value: Term, k: int) -> Term:
+    """``value + k`` with constant folding and affine canonicalization."""
+    if k == 0:
+        return value
+    if value[0] == "const":
+        return ("const", value[1] + k)
+    if value[0] == "add" and value[2][0] == "const":
+        return add_const(value[1], value[2][1] + k)
+    if value[0] == "sub" and value[2][0] == "const":
+        return add_const(value[1], k - value[2][1])
+    if k > 0:
+        return ("add", value, ("const", k))
+    return ("sub", value, ("const", -k))
+
+
+def affine(term: Term) -> Tuple[Optional[Term], int]:
+    """Decompose *term* as ``base + offset`` (base None for constants)."""
+    if term[0] == "const":
+        return None, term[1]
+    if term[0] == "add" and term[2][0] == "const":
+        base, off = affine(term[1])
+        return base, off + term[2][1]
+    if term[0] == "sub" and term[2][0] == "const":
+        base, off = affine(term[1])
+        return base, off - term[2][1]
+    return term, 0
+
+
+def _ranges_disjoint(a: Term, wa: int, b: Term, wb: int) -> bool:
+    """True when the two accesses provably touch disjoint bytes."""
+    base_a, off_a = affine(a)
+    base_b, off_b = affine(b)
+    if base_a != base_b:
+        return False  # different bases: unknown aliasing
+    return off_a + wa <= off_b or off_b + wb <= off_a
+
+
+def select(mem: Term, addr: Term, width: int) -> Term:
+    """A *width*-byte load, simplified through provably distinct stores."""
+    probe = mem
+    while probe[0] == "store":
+        __, below, st_addr, st_width, value = probe
+        if st_addr == addr and st_width == width:
+            # A byte store keeps only the low 8 bits of its value.
+            return ("zext8", value) if width == 1 else value
+        if _ranges_disjoint(st_addr, st_width, addr, width):
+            probe = below
+            continue
+        break  # possible overlap: stay opaque
+    return ("select", probe, addr, width)
+
+
+def ite(cond: Term, then: Term, other: Term) -> Term:
+    return then if then == other else ("ite", cond, then, other)
+
+
+# ----------------------------------------------------------------------
+# the evaluator
+# ----------------------------------------------------------------------
+class BlockEvaluator:
+    """Evaluates one instruction sequence to a :class:`SymState`.
+
+    *inline_calls* maps this round's outlined symbols to their bodies
+    (bracket and return already stripped — see ``validate.outlined_body``);
+    a ``bl`` to one of them executes the body in place, after setting
+    ``lr`` to a fresh ``("retaddr", n)`` marker exactly as the real
+    ``bl`` would.  *tails* maps this round's cross-jump tail labels to
+    the tail block's instructions; a final unconditional ``b`` to one of
+    them continues into the tail.
+    """
+
+    def __init__(
+        self,
+        inline_calls: Optional[Dict[str, List[Instruction]]] = None,
+        tails: Optional[Dict[str, List[Instruction]]] = None,
+    ):
+        self.inline_calls = inline_calls or {}
+        self.tails = tails or {}
+        self._seq = 0
+        self._inline = 0
+
+    def evaluate(self, instructions: Sequence[Instruction]) -> SymState:
+        """Run *instructions* as one extended block; returns final state."""
+        self._seq = 0
+        self._inline = 0
+        state = SymState()
+        insns = list(instructions)
+        followed_tail = False
+        chain = 0
+        i = 0
+        while i < len(insns):
+            insn = insns[i]
+            last = i == len(insns) - 1
+            if (
+                last
+                and insn.mnemonic == "b"
+                and not insn.is_conditional
+                and insn.label_target in self.tails
+            ):
+                chain += 1
+                if chain > MAX_TAIL_CHAIN:
+                    raise SymEvalError("cross-jump tail chain too long")
+                followed_tail = True
+                insns = list(self.tails[insn.label_target])
+                i = 0
+                continue
+            self._step(state, insn, last)
+            i += 1
+        if state.exit is None:
+            if followed_tail:
+                # A tail that falls through would resume at a different
+                # physical location than the original block did.
+                raise SymEvalError("cross-jump tail falls through")
+            state.exit = FALL
+        return state
+
+    # ------------------------------------------------------------------
+    def _step(self, state: SymState, insn: Instruction,
+              last: bool) -> None:
+        if state.exit is not None:
+            raise SymEvalError(
+                f"instruction after control transfer: {insn}"
+            )
+        m = insn.mnemonic
+        if m == "bl":
+            self._call(state, insn)
+            return
+        if m in ("b", "bx"):
+            self._branch_exit(state, insn, last)
+            return
+
+        cond = self._cond(state, insn)
+        reg_updates: Dict[int, Term] = {}
+        new_flags: Optional[Term] = None
+        new_mem: Optional[Term] = None
+        exit_value: Optional[Term] = None
+
+        if m in DATAPROC_3OP:
+            a = self._reg(state, insn.operands[1].num)
+            b = self._flex(state, insn.operands[2])
+            if m == "add" and b[0] == "const":
+                value = add_const(a, b[1])
+            elif m == "sub" and b[0] == "const":
+                value = add_const(a, -b[1])
+            elif m in CARRY_READERS:
+                value = (m, a, b, state.flags)
+            else:
+                value = (m, a, b)
+            reg_updates[insn.operands[0].num] = value
+            if insn.set_flags:
+                new_flags = self._flagsof(m, a, b, state)
+        elif m in ("mov", "mvn"):
+            value = self._flex(state, insn.operands[1])
+            if m == "mvn":
+                value = ("mvn", value)
+            reg_updates[insn.operands[0].num] = value
+            if insn.set_flags:
+                new_flags = ("flagsof", m, value)
+        elif m in DATAPROC_COMPARE:
+            a = self._reg(state, insn.operands[0].num)
+            b = self._flex(state, insn.operands[1])
+            new_flags = self._flagsof(m, a, b, state)
+        elif m == "mul":
+            a = self._reg(state, insn.operands[1].num)
+            b = self._reg(state, insn.operands[2].num)
+            reg_updates[insn.operands[0].num] = ("mul", a, b)
+            if insn.set_flags:
+                new_flags = ("flagsof", "mul", a, b)
+        elif m == "mla":
+            a = self._reg(state, insn.operands[1].num)
+            b = self._reg(state, insn.operands[2].num)
+            c = self._reg(state, insn.operands[3].num)
+            reg_updates[insn.operands[0].num] = ("mla", a, b, c)
+            if insn.set_flags:
+                new_flags = ("flagsof", "mla", a, b, c)
+        elif m in ("ldr", "ldrb"):
+            if isinstance(insn.operands[1], LabelRef):
+                reg_updates[insn.operands[0].num] = self._literal(
+                    insn.operands[1].name
+                )
+            else:
+                addr, base_update = self._address(state, insn.operands[1])
+                value = select(state.mem, addr, 4 if m == "ldr" else 1)
+                reg_updates[insn.operands[0].num] = value
+                if base_update is not None:
+                    # rd == base with writeback: the load wins on ARM
+                    reg_updates.setdefault(*base_update)
+        elif m in ("str", "strb"):
+            addr, base_update = self._address(state, insn.operands[1])
+            value = self._reg(state, insn.operands[0].num)
+            new_mem = ("store", state.mem, addr,
+                       4 if m == "str" else 1, value)
+            if base_update is not None:
+                reg_updates[base_update[0]] = base_update[1]
+        elif m == "push":
+            regs = insn.operands[0].regs
+            sp_new = add_const(self._reg(state, SP), -4 * len(regs))
+            mem = state.mem
+            for slot, r in enumerate(regs):
+                mem = ("store", mem, add_const(sp_new, 4 * slot), 4,
+                       self._reg(state, r))
+            new_mem = mem
+            reg_updates[SP] = sp_new
+        elif m == "pop":
+            regs = insn.operands[0].regs
+            sp_old = self._reg(state, SP)
+            for slot, r in enumerate(regs):
+                value = select(state.mem, add_const(sp_old, 4 * slot), 4)
+                if r == PC:
+                    exit_value = value
+                else:
+                    reg_updates[r] = value
+            reg_updates[SP] = add_const(sp_old, 4 * len(regs))
+        elif m == "swi":
+            effect = ("swi", self._seq, insn.operands[0].value,
+                      self._reg(state, 0), self._reg(state, 1),
+                      self._reg(state, 2), self._reg(state, 3), state.mem)
+            self._seq += 1
+            reg_updates[0] = ("fx", effect, 0)
+            new_flags = ("fx", effect, "flags")
+            new_mem = ("fx", effect, "mem")
+        else:  # pragma: no cover — mnemonic set is closed
+            raise SymEvalError(f"unmodelled mnemonic: {m}")
+
+        if PC in reg_updates:
+            exit_value = reg_updates.pop(PC)
+
+        for r, value in reg_updates.items():
+            state.regs[r] = (
+                value if cond is None else ite(cond, value, state.regs[r])
+            )
+        if new_flags is not None:
+            state.flags = (
+                new_flags if cond is None
+                else ite(cond, new_flags, state.flags)
+            )
+        if new_mem is not None:
+            state.mem = (
+                new_mem if cond is None else ite(cond, new_mem, state.mem)
+            )
+        if exit_value is not None:
+            if not last:
+                raise SymEvalError(
+                    f"mid-block control transfer: {insn}"
+                )
+            state.exit = (
+                exit_value if cond is None else ite(cond, exit_value, FALL)
+            )
+
+    # ------------------------------------------------------------------
+    def _call(self, state: SymState, insn: Instruction) -> None:
+        callee = insn.label_target
+        if callee in self.inline_calls:
+            if insn.is_conditional:
+                raise SymEvalError(
+                    f"conditional call to outlined symbol: {insn}"
+                )
+            state.regs[LR] = ("retaddr", self._inline)
+            self._inline += 1
+            for body_insn in self.inline_calls[callee]:
+                self._step(state, body_insn, last=False)
+            return
+        cond = self._cond(state, insn)
+        effect = ("call", self._seq, callee,
+                  self._reg(state, 0), self._reg(state, 1),
+                  self._reg(state, 2), self._reg(state, 3),
+                  self._reg(state, SP), state.mem)
+        self._seq += 1
+        outputs = {r: ("fx", effect, r) for r in (0, 1, 2, 3, 12)}
+        outputs[LR] = ("fx", effect, "ret")
+        for r, value in outputs.items():
+            state.regs[r] = (
+                value if cond is None else ite(cond, value, state.regs[r])
+            )
+        new_flags = ("fx", effect, "flags")
+        new_mem = ("fx", effect, "mem")
+        state.flags = (
+            new_flags if cond is None else ite(cond, new_flags, state.flags)
+        )
+        state.mem = (
+            new_mem if cond is None else ite(cond, new_mem, state.mem)
+        )
+
+    def _branch_exit(self, state: SymState, insn: Instruction,
+                     last: bool) -> None:
+        if not last:
+            raise SymEvalError(f"mid-block control transfer: {insn}")
+        cond = self._cond(state, insn)
+        if insn.mnemonic == "b":
+            target: Term = ("label", insn.label_target)
+        else:  # bx
+            target = self._reg(state, insn.operands[0].num)
+        state.exit = target if cond is None else ite(cond, target, FALL)
+
+    # ------------------------------------------------------------------
+    def _cond(self, state: SymState, insn: Instruction) -> Optional[Term]:
+        if not insn.is_conditional:
+            return None
+        return ("cond", insn.cond, state.flags)
+
+    def _reg(self, state: SymState, r: int) -> Term:
+        if r == PC:
+            # pc reads as the instruction address + 8; blocks have no
+            # fixed address at this level, so a pc read is unmodelled.
+            raise SymEvalError("pc read outside branch context")
+        return state.regs[r]
+
+    def _flex(self, state: SymState, op: object) -> Term:
+        if isinstance(op, Reg):
+            return self._reg(state, op.num)
+        if isinstance(op, Imm):
+            return ("const", op.value)
+        if isinstance(op, ShiftedReg):
+            value = self._reg(state, op.num)
+            if op.amount == 0 and op.shift_op == "lsl":
+                return value
+            return (op.shift_op, value, op.amount)
+        raise SymEvalError(f"unmodelled operand: {op!r}")
+
+    def _flagsof(self, m: str, a: Term, b: Term,
+                 state: SymState) -> Term:
+        if m in CARRY_READERS:
+            return ("flagsof", m, a, b, state.flags)
+        return ("flagsof", m, a, b)
+
+    def _address(self, state: SymState, mem: Mem):
+        """(effective address, optional base writeback update)."""
+        base = self._reg(state, mem.base)
+        if mem.index is not None:
+            offset_term: Term = ("add", base,
+                                 self._reg(state, mem.index))
+        else:
+            offset_term = add_const(base, mem.offset)
+        if mem.pre:
+            addr = offset_term
+            update = (mem.base, offset_term) if mem.writeback else None
+        else:  # post-indexed: access at base, then write back base+offset
+            addr = base
+            update = (mem.base, offset_term)
+        return addr, update
+
+    def _literal(self, name: str) -> Term:
+        """The value of an ``ldr rX, =name`` literal load."""
+        if name.isdigit() or (name.startswith("-") and name[1:].isdigit()):
+            return ("const", int(name))
+        return ("label", name)

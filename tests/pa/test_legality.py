@@ -125,3 +125,34 @@ class TestEmbeddingLegal:
         )
         assert not embedding_legal(dfg, [1, 3], ExtractionMethod.CROSSJUMP)
         assert embedding_legal(dfg, [1, 2, 3], ExtractionMethod.CROSSJUMP)
+
+    def test_call_occurrence_with_terminator_rejected(self):
+        """The CALL placement rule: an occurrence containing the block's
+        control transfer can never be outlined as a call (a bl replacing
+        the terminator would be a miscompile).  classify_fragment routes
+        such fragments to cross-jump, but embedding_legal re-checks the
+        guarantee defensively."""
+        dfg = dfg_of("mov r0, #1", "add r1, r0, #2", "b out")
+        assert not embedding_legal(dfg, [0, 1, 2], ExtractionMethod.CALL)
+        assert not embedding_legal(dfg, [2], ExtractionMethod.CALL)
+        assert embedding_legal(dfg, [0, 1], ExtractionMethod.CALL)
+
+    def test_call_occurrence_with_return_rejected(self):
+        dfg = dfg_of("mov r0, #1", "mov pc, lr")
+        assert not embedding_legal(dfg, [0, 1], ExtractionMethod.CALL)
+        assert not embedding_legal(dfg, [1], ExtractionMethod.CALL)
+
+    def test_call_occurrence_with_conditional_branch_rejected(self):
+        dfg = dfg_of("cmp r0, #0", "beq out")
+        assert not embedding_legal(dfg, [0, 1], ExtractionMethod.CALL)
+
+    def test_classifier_routes_terminator_fragments_away_from_call(self):
+        """The guarantee embedding_legal re-checks: no fragment holding
+        a control transfer ever classifies as CALL."""
+        for texts in (
+            ["mov r0, #1", "b out"],
+            ["mov r0, #1", "mov pc, lr"],
+            ["mov r0, #1", "bx lr"],
+        ):
+            method = classify_fragment(insns(*texts))
+            assert method is not ExtractionMethod.CALL, texts

@@ -129,3 +129,91 @@ def test_regression_no_call_outlining_into_tail_merged_leaf():
         assert (result.exit_code, result.output) == (
             reference.exit_code, reference.output
         ), engine
+
+
+# ----------------------------------------------------------------------
+# differential check against the historical single-register fixpoint
+# ----------------------------------------------------------------------
+def _reference_lr_live_out(module):
+    """The pre-framework algorithm, kept verbatim as a test oracle: a
+    chaotic-iteration boolean fixpoint with per-block (reads-first,
+    kills) summaries.  The production path now goes through the generic
+    solver in repro.verify; on every workload both must agree exactly."""
+    from repro.isa.registers import LR
+
+    def block_summary(block):
+        reads_first = False
+        kills = False
+        for insn in block.instructions:
+            if LR in insn.regs_read():
+                if not kills:
+                    reads_first = True
+            if LR in insn.regs_written() and not insn.is_conditional:
+                kills = True
+        return reads_first, kills
+
+    label_to_block, ordered = {}, []
+    for func in module.functions:
+        for bi, block in enumerate(func.blocks):
+            key = (func.name, bi)
+            ordered.append((key, block))
+            if bi == 0:
+                label_to_block.setdefault(func.name, key)
+            for label in block.labels:
+                label_to_block[label] = key
+    succ = {}
+    for index, (key, block) in enumerate(ordered):
+        targets, falls_through = [], True
+        for insn in block.instructions:
+            if insn.is_branch and not insn.is_call:
+                target = insn.label_target
+                if target is not None and target in label_to_block:
+                    targets.append(label_to_block[target])
+                if not insn.is_conditional:
+                    falls_through = False
+            elif insn.is_terminator and not insn.is_conditional:
+                falls_through = False
+        if falls_through and index + 1 < len(ordered):
+            next_key, __ = ordered[index + 1]
+            if next_key[0] == key[0]:
+                targets.append(next_key)
+        succ[key] = targets
+
+    summaries = {key: block_summary(block) for key, block in ordered}
+    live_in = {key: False for key in summaries}
+    live_out = {key: False for key in summaries}
+    changed = True
+    while changed:
+        changed = False
+        for key in summaries:
+            out = any(live_in[s] for s in succ[key])
+            reads_first, kills = summaries[key]
+            inn = reads_first or (not kills and out)
+            if out != live_out[key] or inn != live_in[key]:
+                live_out[key] = out
+                live_in[key] = inn
+                changed = True
+    return {key for key, live in live_out.items() if live}
+
+
+def test_differential_lr_liveness_on_all_workloads():
+    from repro.workloads import PROGRAMS, compile_workload
+
+    for name in sorted(PROGRAMS):
+        module = compile_workload(name)
+        assert lr_live_out_blocks(module) == _reference_lr_live_out(
+            module
+        ), name
+
+
+def test_differential_lr_liveness_after_abstraction():
+    """Agreement must also hold on post-extraction modules (shared
+    tails, outlined helpers)."""
+    from repro.workloads import compile_workload
+
+    for name in ("crc", "qsort"):
+        module = compile_workload(name)
+        run_pa(module, PAConfig(miner="edgar"))
+        assert lr_live_out_blocks(module) == _reference_lr_live_out(
+            module
+        ), name

@@ -93,6 +93,32 @@ class TestEnabledPipeline:
                 assert by_ident[record.parent].name == "pa.run"
 
 
+class TestVerifiedRunTelemetry:
+    def test_verify_cost_shows_up_in_registry(self, global_registry):
+        global_registry.enable()
+        __, result = _run(PAConfig(verify=True))
+        assert result.saved > 0
+        counters = global_registry.counters
+        assert counters["verify.rounds"].value == result.rounds
+        assert counters["verify.lint.runs"].value >= result.rounds
+        assert counters["verify.equivalence.checks"].value > 0
+        assert counters["verify.solver.runs"].value > 0
+        assert counters["verify.solver.iterations"].value > 0
+        span_names = {record.name for record in global_registry.spans}
+        assert {"pa.verify", "verify.lint", "verify.pass"} <= span_names
+
+    def test_verify_spans_nest_under_run(self, global_registry):
+        global_registry.enable()
+        _run(PAConfig(verify=True))
+        by_ident = {r.ident: r for r in global_registry.spans}
+        verify_spans = [
+            r for r in global_registry.spans if r.name == "pa.verify"
+        ]
+        assert verify_spans
+        for record in verify_spans:
+            assert by_ident[record.parent].name == "pa.round"
+
+
 class TestApplyCandidateRound:
     def test_direct_call_defaults_to_round_zero(self):
         module = module_from_source(SHARED_FRAGMENT_PROGRAM)

@@ -1,0 +1,174 @@
+"""Symbolic block evaluation: the equivalence engine under --verify."""
+
+import pytest
+
+from repro.isa.assembler import parse_instruction
+from repro.isa.registers import LR, SP
+
+from repro.verify.symeval import (
+    FALL,
+    BlockEvaluator,
+    SymEvalError,
+    add_const,
+    select,
+)
+
+
+def insns(*texts):
+    return [parse_instruction(t) for t in texts]
+
+
+def ev(*texts, inline_calls=None, tails=None):
+    return BlockEvaluator(
+        inline_calls=inline_calls, tails=tails
+    ).evaluate(insns(*texts))
+
+
+# ----------------------------------------------------------------------
+# term helpers
+# ----------------------------------------------------------------------
+def test_add_const_folds_chains():
+    base = ("init", 4)
+    assert add_const(add_const(base, 8), -8) == base
+    assert add_const(("const", 3), 4) == ("const", 7)
+    assert add_const(base, -4) == ("sub", base, ("const", 4))
+
+
+def test_select_reads_through_disjoint_stores():
+    sp = ("init", 13)
+    mem = ("store", ("init", "mem"), sp, 4, ("const", 1))
+    mem = ("store", mem, add_const(sp, 4), 4, ("const", 2))
+    assert select(mem, sp, 4) == ("const", 1)
+    assert select(mem, add_const(sp, 4), 4) == ("const", 2)
+
+
+def test_select_stays_opaque_on_possible_alias():
+    mem = ("store", ("init", "mem"), ("init", 1), 4, ("const", 1))
+    loaded = select(mem, ("init", 2), 4)
+    assert loaded[0] == "select"
+
+
+# ----------------------------------------------------------------------
+# straight-line equivalence
+# ----------------------------------------------------------------------
+def test_reordered_independent_instructions_equal():
+    a = ev("mov r1, #3", "mov r2, #5", "add r3, r1, r2")
+    b = ev("mov r2, #5", "mov r1, #3", "add r3, r1, r2")
+    assert a.regs == b.regs
+    assert a.flags == b.flags
+    assert a.mem == b.mem
+    assert a.exit == b.exit
+
+
+def test_different_computation_differs():
+    a = ev("add r3, r1, r2")
+    b = ev("sub r3, r1, r2")
+    assert a.regs[3] != b.regs[3]
+
+
+def test_push_pop_roundtrip_restores_registers():
+    state = ev("push {r4, r5}", "pop {r4, r5}")
+    assert state.regs[4] == ("init", 4)
+    assert state.regs[5] == ("init", 5)
+    assert state.regs[SP] == ("init", SP)
+
+
+def test_store_load_forwarding():
+    state = ev("str r1, [sp, #-4]", "ldr r2, [sp, #-4]")
+    assert state.regs[2] == ("init", 1)
+
+
+def test_byte_load_is_zero_extended():
+    state = ev("strb r1, [r0]", "ldrb r2, [r0]")
+    assert state.regs[2] == ("zext8", ("init", 1))
+
+
+def test_conditional_execution_merges():
+    state = ev("cmp r0, #0", "moveq r1, #1")
+    r1 = state.regs[1]
+    assert r1[0] == "ite"
+    assert r1[2] == ("const", 1)
+    assert r1[3] == ("init", 1)
+
+
+def test_exit_terms():
+    assert ev("mov r1, #1").exit == FALL
+    assert ev("b out").exit == ("label", "out")
+    assert ev("bx lr").exit == ("init", LR)
+    ret = ev("push {lr}", "pop {pc}")
+    assert ret.exit == ("init", LR)
+    assert ret.regs[SP] == ("init", SP)
+
+
+def test_mid_block_transfer_rejected():
+    with pytest.raises(SymEvalError):
+        ev("b out", "mov r1, #1")
+
+
+# ----------------------------------------------------------------------
+# calls
+# ----------------------------------------------------------------------
+def test_opaque_calls_align_by_sequence_number():
+    a = ev("bl f", "bl g")
+    b = ev("bl f", "bl g")
+    assert a.regs == b.regs and a.mem == b.mem
+    # swapping callees changes the effect nodes
+    c = ev("bl g", "bl f")
+    assert a.regs[0] != c.regs[0]
+
+
+def test_opaque_call_clobbers_scratch_only():
+    state = ev("bl f")
+    assert state.regs[0][0] == "fx"
+    assert state.regs[4] == ("init", 4)  # callee-saved untouched
+    assert state.flags[0] == "fx"
+
+
+def test_inlined_call_matches_original_body():
+    """The core --verify obligation: bl to this round's outlined symbol,
+    with the body inlined back, equals the original straight-line code."""
+    body = insns("mov r1, #3", "add r2, r1, #5")
+    original = ev("mov r1, #3", "add r2, r1, #5", "mov r0, r2")
+    rewritten = BlockEvaluator(
+        inline_calls={"pa_0": body}
+    ).evaluate(insns("bl pa_0", "mov r0, r2"))
+    assert original.regs[0] == rewritten.regs[0]
+    assert original.regs[2] == rewritten.regs[2]
+    assert original.mem == rewritten.mem
+    # lr differs by design: the bl wrote a retaddr marker
+    assert rewritten.regs[LR] == ("retaddr", 0)
+
+
+def test_inlined_call_does_not_consume_opaque_sequence():
+    body = insns("mov r1, #3")
+    a = BlockEvaluator(inline_calls={"pa_0": body}).evaluate(
+        insns("bl pa_0", "bl ext")
+    )
+    b = ev("mov r1, #3", "bl ext")
+    # the opaque call to ext gets sequence number 0 in both
+    assert a.regs[0] == b.regs[0]
+
+
+# ----------------------------------------------------------------------
+# cross-jump tails
+# ----------------------------------------------------------------------
+def test_tail_following():
+    tails = {"pa_tail": insns("add r1, r1, #1", "mov pc, lr")}
+    merged = BlockEvaluator(tails=tails).evaluate(
+        insns("mov r1, #2", "b pa_tail")
+    )
+    original = ev("mov r1, #2", "add r1, r1, #1", "mov pc, lr")
+    assert merged.regs == original.regs
+    assert merged.exit == original.exit
+
+
+def test_tail_fall_through_rejected():
+    tails = {"pa_tail": insns("add r1, r1, #1")}
+    with pytest.raises(SymEvalError):
+        BlockEvaluator(tails=tails).evaluate(insns("b pa_tail"))
+
+
+def test_tail_chain_bounded():
+    tails = {"loop": insns("b loop")}
+    with pytest.raises(SymEvalError):
+        BlockEvaluator(tails=tails).evaluate(insns("b loop"))
