@@ -40,6 +40,7 @@ from repro.dfg.builder import build_dfgs
 from repro.dfg.graph import FLOW_KINDS
 from repro.pa.driver import PAConfig, PAResult, run_pa
 from repro.pa.sfx import SFXConfig, run_sfx
+from repro.resilience.atomicio import atomic_write_text
 from repro.workloads import PROGRAMS, compile_workload, verify_workload
 
 #: Engine configurations used for the headline comparison.
@@ -225,9 +226,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     doc = bench_results(tuple(args.workloads), tuple(args.engines),
                         time_budget=args.time_budget)
-    with open(args.bench_out, "w") as handle:
-        json.dump(doc, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_text(
+        args.bench_out,
+        json.dumps(doc, indent=2, sort_keys=True) + "\n",
+    )
     print(f"wrote {args.bench_out}", file=sys.stderr)
     return 0
 

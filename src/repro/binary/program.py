@@ -13,7 +13,6 @@ address arithmetic.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
@@ -81,7 +80,10 @@ class Module:
     functions: List[Function] = field(default_factory=list)
     data: List[Item] = field(default_factory=list)
     entry: str = "_start"
-    _fresh: itertools.count = field(default_factory=itertools.count, repr=False)
+    #: Fresh-label counter position.  A plain int (not an iterator) so a
+    #: checkpoint can persist and restore it — resumed runs must draw
+    #: the same label names an uninterrupted run would.
+    _fresh: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -113,7 +115,8 @@ class Module:
         """Return a label name that is not yet defined in the module."""
         defined = self.defined_labels()
         while True:
-            name = f"{prefix}_{next(self._fresh)}"
+            name = f"{prefix}_{self._fresh}"
+            self._fresh += 1
             if name not in defined:
                 return name
 

@@ -29,6 +29,16 @@ report) and ``--ledger-out FILE`` (the decision ledger as JSONL, schema
 ``repro.report.ledger/1``), both backed by the provenance records of
 :mod:`repro.report.ledger`; ``explain`` renders the same records as
 text, either by re-running a workload or replaying ``--ledger FILE``.
+
+Resilience (see ``src/repro/resilience/``): ``pa --checkpoint FILE``
+rewrites a crash-safe resume file after every committed round and
+``pa --resume FILE`` continues from it, bit-identically to the
+uninterrupted run.  ``--fault point[:mode[:at]]`` (repeatable; also the
+``REPRO_FAULT`` environment variable) arms the deterministic
+fault-injection harness.  Every internal failure crosses :func:`main`
+as one structured ``error[CODE]: message`` diagnostic plus a
+``run.abort`` ledger record — never a traceback (set ``REPRO_DEBUG=1``
+to re-raise).
 """
 
 from __future__ import annotations
@@ -52,8 +62,14 @@ from repro.dfg.graph import FLOW_KINDS
 from repro.dfg.stats import fanout_summary
 from repro.isa.assembler import parse_program
 from repro.minicc.driver import compile_to_asm, compile_to_module
-from repro.pa.driver import PAConfig, run_pa
+from repro.pa.driver import PAConfig, config_from_dict, run_pa
 from repro.pa.sfx import SFXConfig, run_sfx
+from repro.resilience import faultinject
+from repro.resilience.checkpoint import (
+    load_checkpoint,
+    module_from_checkpoint,
+)
+from repro.resilience.errors import EXIT_INTERNAL, EXIT_INTERRUPT, ReproError
 from repro.sim.machine import run_image
 from repro.verify.lint import Severity, lint_module
 from repro.verify.validate import TranslationValidationError
@@ -191,12 +207,47 @@ def cmd_run(args) -> int:
 
 
 def cmd_pa(args) -> int:
-    if args.verify and args.engine == "sfx":
-        sys.exit("error: --verify needs a graph engine; the sfx baseline "
-                 "does not go through the round loop the validator hooks")
+    if args.engine == "sfx" and (args.verify or args.checkpoint
+                                 or args.resume):
+        sys.exit("error: --verify/--checkpoint/--resume need a graph "
+                 "engine; the sfx baseline does not go through the "
+                 "round loop they hook")
+    for spec in args.fault or ():
+        try:
+            faultinject.arm(spec)
+        except ValueError as exc:
+            sys.exit(f"error: {exc}")
+    if args.checkpoint:
+        # Deliberately exempt from the clobber preflight: the file is
+        # rewritten (atomically) after every round by design, and a
+        # resumed run keeps checkpointing to the same path.
+        directory = os.path.dirname(args.checkpoint) or "."
+        if not os.path.isdir(directory):
+            sys.exit("error: output directory does not exist: "
+                     f"{args.checkpoint}")
     traced = _telemetry_begin(args)
     ledgered = _ledger_begin(args)
-    module = _load_source(args.source, args.assembly)
+    resume = None
+    if args.resume:
+        # The checkpointed config wins (the continuation must replay
+        # the original run's decisions); only the checkpoint path is
+        # taken from this invocation.
+        resume = load_checkpoint(args.resume)
+        module = module_from_checkpoint(resume)
+        config = config_from_dict(resume.config)
+        config.checkpoint_path = args.checkpoint
+        print(f"resumed from round {resume.round} ({args.resume})",
+              file=sys.stderr)
+    else:
+        module = _load_source(args.source, args.assembly)
+        config = PAConfig(
+            miner=args.engine,
+            max_nodes=args.max_nodes,
+            time_budget=args.time_budget,
+            verify=args.verify,
+            verify_max_retries=args.verify_max_retries,
+            checkpoint_path=args.checkpoint,
+        )
     reference = run_image(layout(module), max_steps=args.max_steps)
     before = module.num_instructions
     try:
@@ -204,12 +255,7 @@ def cmd_pa(args) -> int:
             if args.engine == "sfx":
                 result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
             else:
-                result = run_pa(module, PAConfig(
-                    miner=args.engine,
-                    max_nodes=args.max_nodes,
-                    time_budget=args.time_budget,
-                    verify=args.verify,
-                ))
+                result = run_pa(module, config, resume=resume)
     except TranslationValidationError as exc:
         print(f"VERIFICATION FAILED: {exc}", file=sys.stderr)
         if exc.counterexample is not None:
@@ -232,6 +278,12 @@ def cmd_pa(args) -> int:
     print(f"{args.engine}: {before} -> {module.num_instructions} "
           f"instructions (saved {result.saved}) in {result.rounds} rounds "
           f"[{status}]")
+    if getattr(result, "degraded", False):
+        # Anytime semantics: degraded is still exit 0 — the module is
+        # the valid best-so-far result, and the causes are on record.
+        print("note: run degraded "
+              f"({', '.join(result.degraded_reasons)}); "
+              "best-so-far result kept", file=sys.stderr)
     for record in result.records:
         print(f"  round {record.round:2d} {record.method:9s} "
               f"size={record.size:2d} x{record.occurrences} "
@@ -277,10 +329,10 @@ def cmd_table1(args) -> int:
             with telemetry.span("table1.cell", workload=name,
                                 engine=engine):
                 if engine == "sfx":
-                    run_sfx(module)
+                    result = run_sfx(module)
                 else:
-                    run_pa(module, PAConfig(miner=engine,
-                                            time_budget=args.time_budget))
+                    result = run_pa(module, PAConfig(
+                        miner=engine, time_budget=args.time_budget))
             verify_workload(name, module)
             saved[engine] = base - module.num_instructions
             elapsed = time.perf_counter() - started
@@ -291,6 +343,10 @@ def cmd_table1(args) -> int:
                 instructions=base,
                 saved=saved[engine],
                 seconds=elapsed,
+                degraded=bool(getattr(result, "degraded", False)),
+                deadline_hits=getattr(result, "deadline_hits", 0),
+                mis_budget_exhausted=getattr(
+                    result, "mis_budget_exhausted", 0),
             )
             print(f"  {name}/{engine}: saved {saved[engine]} "
                   f"({elapsed:.1f}s)",
@@ -410,6 +466,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="translation-validate every round; exit 2 on a "
                         "counterexample")
+    p.add_argument("--verify-max-retries", type=int, default=3,
+                   metavar="N",
+                   help="verify-failure recovery attempts per round "
+                        "(rollback + blocklist + re-mine) before the "
+                        "exit-2 abort (default: 3)")
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="rewrite a crash-safe resume file (schema "
+                        "repro.resilience.ckpt/1) after every round")
+    p.add_argument("--resume", metavar="FILE",
+                   help="continue a checkpointed run; bit-identical to "
+                        "the uninterrupted one")
+    p.add_argument("--fault", action="append", metavar="SPEC",
+                   help="arm a deterministic fault point, "
+                        "point[:mode[:at]] (repeatable; modes: raise, "
+                        "interrupt, deadline, corrupt)")
     p.add_argument("--report", metavar="FILE",
                    help="write a self-contained HTML run report")
     p.add_argument("--ledger-out", metavar="FILE",
@@ -482,9 +553,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _abort_record(args, code: str, message: str) -> None:
+    """Leave a ``run.abort`` ledger record (and the requested JSONL)
+    behind, so even an aborted run has typed provenance."""
+    if not ledger.is_enabled():
+        return
+    ledger.emit("run.abort", code=code, message=message)
+    path = getattr(args, "ledger_out", None)
+    if path:
+        try:
+            ledger.get().write_jsonl(path)
+        except Exception:
+            pass    # the abort diagnostic must never be masked
+    ledger.disable()
+    ledger.reset()
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    faultinject.arm_from_env()
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # The typed boundary: every internal failure leaves one
+        # structured diagnostic and a documented exit code, never a
+        # traceback.
+        _abort_record(args, exc.code, str(exc))
+        print(f"error[{exc.code}]: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except KeyboardInterrupt:
+        # Interrupts inside the round loop degrade to exit 0 (the
+        # driver's anytime path); only one landing outside it — or a
+        # second Ctrl-C — reaches this boundary.
+        _abort_record(args, "REPRO-INTERRUPT", "interrupted")
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except Exception as exc:
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        message = f"{type(exc).__name__}: {exc}"
+        _abort_record(args, "REPRO-INTERNAL", message)
+        print(f"error[REPRO-INTERNAL]: {message}", file=sys.stderr)
+        return EXIT_INTERNAL
+    finally:
+        faultinject.disarm_all()
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from repro.mining.embeddings import Embedding, dedupe_by_node_set
 from repro.mining.gspan import DgSpan, Fragment, MiningDB
 from repro.mining.mis import max_independent_set
 from repro.mining.pruning import is_permanently_illegal, never_convex_within
+from repro.resilience.faultinject import fault
 from repro.telemetry import GLOBAL as _TELEMETRY
 
 
@@ -96,6 +97,7 @@ class Edgar(DgSpan):
     ) -> List[Embedding]:
         if not self.pa_pruning:
             return embeddings
+        fault("mine.filter")
         kept: List[Embedding] = []
         never_convex = cyclic = 0
         for emb in embeddings:

@@ -32,6 +32,8 @@ from repro.mining.dfs_code import (
 )
 from repro.mining.embeddings import Embedding, dedupe_by_node_set
 from repro.report.ledger import GLOBAL as _LEDGER
+from repro.resilience import governor as _governor
+from repro.resilience.faultinject import fault
 from repro.telemetry import GLOBAL as _TELEMETRY
 
 
@@ -165,9 +167,12 @@ class DgSpan:
         self.on_fragment = None
         #: Optional ``time.monotonic()`` deadline; the search unwinds
         #: cleanly when it passes (partial results remain valid — every
-        #: reported fragment was genuinely frequent).
+        #: reported fragment was genuinely frequent).  The active run
+        #: governor is consulted alongside it, so an interrupt or a
+        #: governor-level budget unwinds through the same clean path.
         self.deadline = None
         self.deadline_hit = False
+        self._governor = _governor.current()
 
     # ------------------------------------------------------------------
     # frequency semantics (overridden by Edgar)
@@ -207,11 +212,13 @@ class DgSpan:
     # ------------------------------------------------------------------
     def mine(self, dfgs: Sequence[DFG]) -> List[Fragment]:
         """Return all frequent fragments of the database."""
+        fault("mine.pass")
         db = MiningDB(dfgs)
         # visited_nodes and truncated_branches accumulate across calls
         # (the driver mines the full graph and the flow projection with
         # one miner instance and reads the totals afterwards)
         self.deadline_hit = False
+        self._governor = _governor.current()
         results: List[Fragment] = []
 
         seeds: Dict[EdgeTuple, List[Embedding]] = {}
@@ -275,7 +282,10 @@ class DgSpan:
         embeddings: List[Embedding],
         results: List[Fragment],
     ) -> None:
+        fault("mine.search")
         if self.deadline is not None and time.monotonic() > self.deadline:
+            raise _DeadlineReached
+        if self._governor.should_stop():
             raise _DeadlineReached
         if len(embeddings) > self.max_embeddings:
             # Safety valve against combinatorial blow-up inside large

@@ -15,6 +15,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.mining.collision import connected_components
 from repro.report.ledger import GLOBAL as _LEDGER
+from repro.resilience import governor as _governor
+from repro.resilience.faultinject import fault
 from repro.telemetry import GLOBAL as _TELEMETRY
 
 #: Components larger than this fall back to the greedy heuristic; the
@@ -83,6 +85,7 @@ def _exact_component(vertices: List[int],
 
     best: List[int] = []
     budget = [EXPAND_BUDGET]
+    governor = _governor.current()
 
     def color_sort(candidates: int) -> Tuple[List[int], List[int]]:
         """Greedy coloring; returns vertices ordered by color + bounds."""
@@ -106,6 +109,11 @@ def _exact_component(vertices: List[int],
         budget[0] -= 1
         if budget[0] < 0:
             raise _BudgetExhausted
+        # The governor is polled coarsely: an interrupt or spent time
+        # budget downgrades the solve to its incumbent (>= the greedy
+        # seed) instead of finishing an unbounded exact search.
+        if budget[0] % 4096 == 0 and governor.should_stop():
+            raise _BudgetExhausted
         if not candidates:
             if len(clique) > len(best):
                 best = clique[:]
@@ -127,6 +135,9 @@ def _exact_component(vertices: List[int],
         expand([], full)
     except _BudgetExhausted:
         _TELEMETRY.count("mis.budget_exhausted")
+        # always-on governor tally: PAResult surfaces it so a degraded
+        # (budget-limited) solve is distinguishable from a complete one
+        governor.count("mis.budget_exhausted")
         if info is not None:
             info["budget_exhausted"] = info.get("budget_exhausted", 0) + 1
     return [vertices[k] for k in best]
@@ -149,6 +160,7 @@ def max_independent_set(
     (vertices, component counts by strategy, budget exhaustions, chosen
     size) — the provenance the decision ledger attaches to candidates.
     """
+    fault("mis.solve")
     result: List[int] = []
     telemetry_on = _TELEMETRY.enabled
     ledger_on = _LEDGER.enabled

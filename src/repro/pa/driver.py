@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.binary.program import Module
 from repro.dfg.builder import build_dfgs
@@ -21,6 +21,9 @@ from repro.mining.edgar import Edgar, non_overlapping_embeddings
 from repro.mining.gspan import DgSpan
 from repro.report.dot import collision_to_dot, dfg_to_dot, fragment_to_dot
 from repro.report.ledger import GLOBAL as _LEDGER, LEDGER_SCHEMA
+from repro.resilience import checkpoint as _ckpt
+from repro.resilience.faultinject import fault
+from repro.resilience.governor import RunGovernor, activate
 from repro.telemetry import GLOBAL as _TELEMETRY
 
 from repro.pa.extract import (
@@ -42,7 +45,11 @@ from repro.pa.legality import (
     legal_embeddings,
 )
 from repro.pa.liveness import lr_live_out_blocks
-from repro.verify.validate import snapshot_module, verify_round
+from repro.verify.validate import (
+    TranslationValidationError,
+    snapshot_module,
+    verify_round,
+)
 
 
 @dataclass
@@ -80,10 +87,20 @@ class PAConfig:
     time_budget: Optional[float] = 600.0
     #: Translation-validate every round: re-lint the module and prove
     #: each rewritten block symbolically equivalent to its original
-    #: (:mod:`repro.verify.validate`).  A failure aborts the run with a
-    #: :class:`~repro.verify.validate.TranslationValidationError` whose
-    #: counterexample is also written to the decision ledger.
+    #: (:mod:`repro.verify.validate`).  A counterexample no longer
+    #: aborts immediately: the round is rolled back, the offending
+    #: candidate blocklisted by canonical fingerprint and the round
+    #: re-mined, up to ``verify_max_retries`` times — then the run
+    #: degrades to the historical abort
+    #: (:class:`~repro.verify.validate.TranslationValidationError`,
+    #: counterexample in the decision ledger, CLI exit 2).
     verify: bool = False
+    #: Bounded verify-failure recovery attempts per round.
+    verify_max_retries: int = 3
+    #: Crash-safe checkpoint file, rewritten atomically after every
+    #: completed round (schema ``repro.resilience.ckpt/1``); resuming
+    #: from it reproduces the uninterrupted run bit-identically.
+    checkpoint_path: Optional[str] = None
 
 
 @dataclass
@@ -110,6 +127,21 @@ class PAResult:
     rounds: int = 0
     lattice_nodes: int = 0
     elapsed_seconds: float = 0.0
+    #: True when the run wound down early but cleanly (deadline,
+    #: interrupt, verify retries); the module is still the valid
+    #: best-so-far result.  ``degraded_reasons`` lists the causes.
+    degraded: bool = False
+    degraded_reasons: List[str] = field(default_factory=list)
+    #: Mining passes that hit the wall-clock deadline (anytime unwind).
+    deadline_hits: int = 0
+    #: Exact-MIS solves that fell back to their incumbent on budget.
+    mis_budget_exhausted: int = 0
+    #: Verify-failure recovery steps taken (rollback + blocklist).
+    verify_retries: int = 0
+    #: Rounds rolled back atomically (interrupt / injected crash).
+    rolled_back_rounds: int = 0
+    #: Round index this run resumed from, if it was resumed.
+    resumed_from_round: Optional[int] = None
 
     @property
     def saved(self) -> int:
@@ -148,7 +180,8 @@ def _make_miner(config: PAConfig):
 def collect_candidates(module: Module, config: PAConfig,
                        miner=None,
                        warm: Optional[List[Candidate]] = None,
-                       deadline: Optional[float] = None
+                       deadline: Optional[float] = None,
+                       blocklist: Optional[Set[str]] = None
                        ) -> List[Candidate]:
     """Mine one round; return extractable candidates, best first.
 
@@ -173,6 +206,8 @@ def collect_candidates(module: Module, config: PAConfig,
         # Still-valid candidates from the previous round warm-start the
         # benefit floor, so the lattice prunes aggressively from the
         # first seed onward.
+        if blocklist and candidate.fingerprint() in blocklist:
+            continue
         collected.append(candidate)
         if best[0] is None or candidate.sort_key() < best[0].sort_key():
             best[0] = candidate
@@ -293,6 +328,13 @@ def collect_candidates(module: Module, config: PAConfig,
                     benefit=benefit,
                 )
             return
+        if blocklist and candidate.fingerprint() in blocklist:
+            # Blocklisted by a verify-failure recovery step: the
+            # fingerprint is canonical (method + instruction text +
+            # origins), so the re-mined round skips exactly the
+            # candidate whose extraction failed validation.
+            _TELEMETRY.count("pa.candidates.skipped_blocklist")
+            return
         _TELEMETRY.count("pa.candidates.scored")
         if ledger_on:
             skips["scored"] += 1
@@ -391,7 +433,8 @@ def apply_candidate(module: Module, config: PAConfig,
 
 
 def apply_batch(module: Module, config: PAConfig,
-                candidates: List[Candidate]):
+                candidates: List[Candidate],
+                applied: Optional[List[Candidate]] = None):
     """Apply candidates best-first, skipping conflicting ones.
 
     A candidate conflicts when any of its occurrence blocks was already
@@ -399,7 +442,10 @@ def apply_batch(module: Module, config: PAConfig,
     when its function was touched at all).  Skipped candidates are
     simply rediscovered (or carried over) by the next mining round.
 
-    Returns ``(records, touched_blocks, touched_functions)``.
+    Returns ``(records, touched_blocks, touched_functions)``; when the
+    caller passes an *applied* list, the candidates actually extracted
+    are appended to it in application order (the verify-failure
+    recovery uses this to map a counterexample back to its candidate).
     """
     dfgs = build_dfgs(module, min_nodes=0, mined_kinds=config.mined_kinds)
     touched_blocks = set()
@@ -415,6 +461,7 @@ def apply_batch(module: Module, config: PAConfig,
         ):
             _TELEMETRY.count("pa.candidates.skipped_conflict")
             continue
+        fault("extract.candidate")
         before = module.num_instructions
         if candidate.method is ExtractionMethod.CALL:
             symbol = extract_call(
@@ -449,6 +496,8 @@ def apply_batch(module: Module, config: PAConfig,
                 instructions=tuple(str(i) for i in candidate.insns),
             )
         )
+        if applied is not None:
+            applied.append(candidate)
     return records, touched_blocks, touched_functions
 
 
@@ -496,38 +545,75 @@ def _emit_extraction(candidate: Candidate, dfgs, method: str,
     )
 
 
-def run_pa(module: Module, config: Optional[PAConfig] = None) -> PAResult:
+def run_pa(module: Module, config: Optional[PAConfig] = None,
+           resume: Optional[_ckpt.Checkpoint] = None) -> PAResult:
     """Run graph-based procedural abstraction to a fixpoint on *module*.
 
     The module is transformed in place and also returned inside the
     result for convenience.
+
+    Passing a loaded :class:`~repro.resilience.checkpoint.Checkpoint`
+    as *resume* (with *module* revived via
+    :func:`~repro.resilience.checkpoint.module_from_checkpoint`)
+    continues the run from the round after the checkpointed one; the
+    pipeline is deterministic, so the resumed run produces the same
+    final module, bit for bit, as the uninterrupted one.
     """
     config = config or PAConfig()
+    governor = RunGovernor(time_budget=config.time_budget)
     if _LEDGER.enabled:
+        begin_config = {
+            "miner": config.miner,
+            "min_support": config.min_support,
+            "min_nodes": config.min_nodes,
+            "max_nodes": config.max_nodes,
+            "mis_exact_limit": config.mis_exact_limit,
+            "pa_pruning": config.pa_pruning,
+            "flow_pass": config.flow_pass,
+            "batch": config.batch,
+            "time_budget": config.time_budget,
+        }
+        extra = {}
+        if resume is not None:
+            extra["resumed_from"] = resume.round
         _LEDGER.emit(
             "run.begin",
             schema=LEDGER_SCHEMA,
             engine=config.miner,
             instructions=module.num_instructions,
-            config={
-                "miner": config.miner,
-                "min_support": config.min_support,
-                "min_nodes": config.min_nodes,
-                "max_nodes": config.max_nodes,
-                "mis_exact_limit": config.mis_exact_limit,
-                "pa_pruning": config.pa_pruning,
-                "flow_pass": config.flow_pass,
-                "batch": config.batch,
-                "time_budget": config.time_budget,
-            },
+            config=begin_config,
+            **extra,
         )
-    with _TELEMETRY.span("pa.run", miner=config.miner):
-        result = _run_pa(module, config)
+    with activate(governor), governor.signals():
+        with _TELEMETRY.span("pa.run", miner=config.miner):
+            result = _run_pa(module, config, governor, resume)
+    result.mis_budget_exhausted += governor.counters.get(
+        "mis.budget_exhausted", 0
+    )
+    if result.deadline_hits:
+        # A truncated mining pass may have missed candidates even when
+        # the loop itself reached a (premature) fixpoint.
+        governor.note("time_budget")
+    result.degraded_reasons = list(governor.reasons)
+    result.degraded = governor.degraded
     if _TELEMETRY.enabled:
         _TELEMETRY.count("pa.runs")
         _TELEMETRY.count("pa.instructions.saved", result.saved)
         _TELEMETRY.count("pa.lattice_nodes", result.lattice_nodes)
+        for name, value in sorted(governor.counters.items()):
+            _TELEMETRY.count(f"pa.governor.{name}", value)
     if _LEDGER.enabled:
+        if result.degraded:
+            _LEDGER.emit(
+                "run.degraded",
+                reasons=result.degraded_reasons,
+                rounds=result.rounds,
+                instructions=result.instructions_after,
+                deadline_hits=result.deadline_hits,
+                mis_budget_exhausted=result.mis_budget_exhausted,
+                verify_retries=result.verify_retries,
+                rolled_back_rounds=result.rolled_back_rounds,
+            )
         _LEDGER.emit(
             "run.end",
             rounds=result.rounds,
@@ -542,110 +628,73 @@ def run_pa(module: Module, config: Optional[PAConfig] = None) -> PAResult:
     return result
 
 
-def _run_pa(module: Module, config: PAConfig) -> PAResult:
+def _run_pa(module: Module, config: PAConfig, governor: RunGovernor,
+            resume: Optional[_ckpt.Checkpoint] = None) -> PAResult:
     started = time.perf_counter()
     result = PAResult(
         module=module,
         instructions_before=module.num_instructions,
         instructions_after=module.num_instructions,
     )
-    deadline = (
-        time.monotonic() + config.time_budget
-        if config.time_budget else None
-    )
     carryover: List[Candidate] = []
-    for round_index in range(config.max_rounds):
-        miner = _make_miner(config)
-        with _TELEMETRY.span("pa.round", round=round_index), \
-                _LEDGER.context(round=round_index):
-            if _LEDGER.enabled:
-                _LEDGER.emit(
-                    "round.begin", instructions=module.num_instructions,
-                    carryover=len(carryover),
-                )
-            mine_started = time.perf_counter()
-            with _TELEMETRY.span("pa.collect", round=round_index):
-                candidates = collect_candidates(
-                    module, config, miner=miner,
-                    warm=carryover, deadline=deadline,
-                )
-            mine_seconds = time.perf_counter() - mine_started
-            result.lattice_nodes += miner.visited_nodes
-            _TELEMETRY.count("pa.carryover.candidates", len(carryover))
-            if _LEDGER.enabled:
-                _LEDGER.emit(
-                    "prune",
-                    never_convex=getattr(miner, "pruned_never_convex", 0),
-                    cyclic=getattr(miner, "pruned_cyclic", 0),
-                )
-            if not candidates:
-                if _LEDGER.enabled:
-                    _LEDGER.emit(
-                        "round.end",
-                        instructions=module.num_instructions,
-                        applied=0, saved=0,
-                    )
-                break
-            if not config.batch:
-                candidates = candidates[:1]
-            before_apply = module.num_instructions
-            if config.verify:
-                # Captured before the rewrite: the validator compares
-                # against this state, and the pre-round lr liveness is
-                # what makes the inserted bl's lr clobber excusable.
-                snapshot = snapshot_module(module)
-                pre_lr_live = lr_live_out_blocks(module)
-            with _TELEMETRY.span("pa.apply", round=round_index):
-                records, touched_blocks, touched_functions = apply_batch(
-                    module, config, candidates
-                )
-            if config.verify and records:
-                verify_round(
-                    module, snapshot, records, pre_lr_live,
-                    round_index=round_index,
-                )
-            if not records:
-                if _LEDGER.enabled:
-                    _LEDGER.emit(
-                        "round.end",
-                        instructions=module.num_instructions,
-                        applied=0, saved=0,
-                    )
-                break
-            if _LEDGER.enabled:
-                _LEDGER.emit(
-                    "round.end",
-                    instructions=module.num_instructions,
-                    applied=len(records),
-                    saved=before_apply - module.num_instructions,
-                )
-            for record in records:
-                record.round = round_index
-            if _TELEMETRY.enabled:
-                _TELEMETRY.count("pa.rounds")
-                _TELEMETRY.count("pa.candidates.applied", len(records))
-                _TELEMETRY.event(
-                    "pa.round",
-                    round=round_index,
-                    mine_seconds=mine_seconds,
-                    lattice_nodes=miner.visited_nodes,
-                    candidates=len(candidates),
-                    applied=len(records),
-                    carryover=len(carryover),
-                )
-                for record in records:
-                    _TELEMETRY.observe(
-                        "pa.extraction.benefit", record.benefit
-                    )
-                    _TELEMETRY.event(
-                        "pa.extraction",
-                        round=record.round,
-                        method=record.method,
-                        size=record.size,
-                        occurrences=record.occurrences,
-                        benefit=record.benefit,
-                        new_symbol=record.new_symbol,
-                    )
+    blocklist: Set[str] = set()
+    start_round = 0
+    if resume is not None:
+        start_round = resume.round + 1
+        result.resumed_from_round = resume.round
+        result.instructions_before = resume.instructions_before
+        result.rounds = resume.rounds
+        result.lattice_nodes = resume.lattice_nodes
+        result.deadline_hits = resume.deadline_hits
+        result.mis_budget_exhausted = resume.mis_budget_exhausted
+        result.verify_retries = resume.verify_retries
+        result.records = [
+            ExtractionRecord(
+                round=r["round"],
+                method=r["method"],
+                size=r["size"],
+                occurrences=r["occurrences"],
+                benefit=r["benefit"],
+                new_symbol=r["new_symbol"],
+                instructions=tuple(r["instructions"]),
+            )
+            for r in resume.records
+        ]
+        blocklist = set(resume.blocklist)
+        carryover = _ckpt.candidates_from_dicts(
+            module, config.mined_kinds, resume.carryover
+        )
+    for round_index in range(start_round, config.max_rounds):
+        if governor.should_stop():
+            governor.note(
+                "interrupted" if governor.interrupted else "time_budget"
+            )
+            break
+        state = _ckpt.capture_state(module)
+        try:
+            outcome = _run_round(
+                module, config, governor, result, round_index,
+                carryover, blocklist, state,
+            )
+        except KeyboardInterrupt:
+            # Anytime semantics: the interrupted round is rolled back
+            # atomically and the best-so-far module returned cleanly.
+            _ckpt.restore_state(module, state)
+            result.rolled_back_rounds += 1
+            governor.interrupt()
+            governor.note("interrupted")
+            governor.count("rounds.rolled_back")
+            break
+        except BaseException:
+            # Injected faults, validation aborts, internal errors: leave
+            # a consistent module behind (never half-rewritten), then
+            # let the CLI boundary type the diagnostic.
+            _ckpt.restore_state(module, state)
+            result.rolled_back_rounds += 1
+            raise
+        if outcome is None:
+            break
+        records, candidates, touched_blocks, touched_functions = outcome
         result.records.extend(records)
         result.rounds = round_index + 1
         # Candidates whose blocks survived this round untouched remain
@@ -660,6 +709,243 @@ def _run_pa(module: Module, config: PAConfig) -> PAResult:
                 c for c in candidates
                 if not any(o in touched_blocks for o in c.origins)
             ]
+        if config.checkpoint_path:
+            _write_run_checkpoint(
+                config.checkpoint_path, module, config, governor,
+                result, round_index, carryover, blocklist,
+            )
     result.instructions_after = module.num_instructions
     result.elapsed_seconds = time.perf_counter() - started
     return result
+
+
+def _run_round(module: Module, config: PAConfig, governor: RunGovernor,
+               result: PAResult, round_index: int,
+               carryover: List[Candidate], blocklist: Set[str],
+               state: _ckpt.ModuleState):
+    """One mining + apply round, with verify-failure recovery.
+
+    Returns ``None`` at fixpoint, else ``(records, candidates,
+    touched_blocks, touched_functions)``.  On a translation-validation
+    failure the round is rolled back atomically, the offending
+    candidates blocklisted by canonical fingerprint, and the round
+    re-mined — up to ``config.verify_max_retries`` times, after which
+    the error propagates (the historical exit-2 abort).
+    """
+    attempt = 0
+    while True:
+        applied: List[Candidate] = []
+        try:
+            return _round_once(
+                module, config, governor, result, round_index,
+                carryover, blocklist, applied,
+            )
+        except TranslationValidationError as error:
+            _ckpt.restore_state(module, state)
+            if attempt >= config.verify_max_retries:
+                raise
+            attempt += 1
+            offenders = _verify_offenders(error, applied)
+            fingerprints = sorted(c.fingerprint() for c in offenders)
+            blocklist.update(fingerprints)
+            result.verify_retries += 1
+            result.rolled_back_rounds += 1
+            governor.note("verify_retries")
+            governor.count("verify.retries")
+            _TELEMETRY.count("pa.verify.retries")
+            if _LEDGER.enabled:
+                _LEDGER.emit(
+                    "verify.retry",
+                    round=round_index,
+                    attempt=attempt,
+                    blocklisted=fingerprints,
+                    error=str(error),
+                )
+
+
+def _verify_offenders(error: TranslationValidationError,
+                      applied: List[Candidate]) -> List[Candidate]:
+    """The applied candidates a counterexample implicates.
+
+    The counterexample names a ``(function, pre-round block)`` pair —
+    exactly the coordinate space of candidate origins, because the
+    round was applied against the snapshot the counterexample indexes.
+    When the mapping comes up empty (lint failures carry no
+    counterexample) every applied candidate is blocklisted:
+    over-approximate, but it keeps the retry loop terminating.
+    """
+    counterexample = getattr(error, "counterexample", None)
+    if counterexample is not None:
+        key = (counterexample.function, counterexample.old_block)
+        offenders = [c for c in applied if key in c.origins]
+        if offenders:
+            return offenders
+    return list(applied)
+
+
+def _round_once(module: Module, config: PAConfig, governor: RunGovernor,
+                result: PAResult, round_index: int,
+                carryover: List[Candidate], blocklist: Set[str],
+                applied: List[Candidate]):
+    miner = _make_miner(config)
+    with _TELEMETRY.span("pa.round", round=round_index), \
+            _LEDGER.context(round=round_index):
+        if _LEDGER.enabled:
+            _LEDGER.emit(
+                "round.begin", instructions=module.num_instructions,
+                carryover=len(carryover),
+            )
+        mine_started = time.perf_counter()
+        with _TELEMETRY.span("pa.collect", round=round_index):
+            candidates = collect_candidates(
+                module, config, miner=miner,
+                warm=carryover, deadline=governor.deadline,
+                blocklist=blocklist,
+            )
+        mine_seconds = time.perf_counter() - mine_started
+        result.lattice_nodes += miner.visited_nodes
+        if miner.deadline_hit:
+            result.deadline_hits += 1
+            governor.count("mine.deadline_hits")
+        _TELEMETRY.count("pa.carryover.candidates", len(carryover))
+        if _LEDGER.enabled:
+            _LEDGER.emit(
+                "prune",
+                never_convex=getattr(miner, "pruned_never_convex", 0),
+                cyclic=getattr(miner, "pruned_cyclic", 0),
+            )
+        if not candidates:
+            if _LEDGER.enabled:
+                _LEDGER.emit(
+                    "round.end",
+                    instructions=module.num_instructions,
+                    applied=0, saved=0,
+                )
+            return None
+        if not config.batch:
+            candidates = candidates[:1]
+        before_apply = module.num_instructions
+        if config.verify:
+            # Captured before the rewrite: the validator compares
+            # against this state, and the pre-round lr liveness is
+            # what makes the inserted bl's lr clobber excusable.
+            snapshot = snapshot_module(module)
+            pre_lr_live = lr_live_out_blocks(module)
+        fault("extract.apply")
+        with _TELEMETRY.span("pa.apply", round=round_index):
+            records, touched_blocks, touched_functions = apply_batch(
+                module, config, candidates, applied=applied
+            )
+        if config.verify and records:
+            verify_round(
+                module, snapshot, records, pre_lr_live,
+                round_index=round_index,
+            )
+        if not records:
+            if _LEDGER.enabled:
+                _LEDGER.emit(
+                    "round.end",
+                    instructions=module.num_instructions,
+                    applied=0, saved=0,
+                )
+            return None
+        if _LEDGER.enabled:
+            _LEDGER.emit(
+                "round.end",
+                instructions=module.num_instructions,
+                applied=len(records),
+                saved=before_apply - module.num_instructions,
+            )
+        for record in records:
+            record.round = round_index
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("pa.rounds")
+            _TELEMETRY.count("pa.candidates.applied", len(records))
+            _TELEMETRY.event(
+                "pa.round",
+                round=round_index,
+                mine_seconds=mine_seconds,
+                lattice_nodes=miner.visited_nodes,
+                candidates=len(candidates),
+                applied=len(records),
+                carryover=len(carryover),
+            )
+            for record in records:
+                _TELEMETRY.observe(
+                    "pa.extraction.benefit", record.benefit
+                )
+                _TELEMETRY.event(
+                    "pa.extraction",
+                    round=record.round,
+                    method=record.method,
+                    size=record.size,
+                    occurrences=record.occurrences,
+                    benefit=record.benefit,
+                    new_symbol=record.new_symbol,
+                )
+    return records, candidates, touched_blocks, touched_functions
+
+
+# ----------------------------------------------------------------------
+# checkpoint plumbing
+# ----------------------------------------------------------------------
+def config_to_dict(config: PAConfig) -> Dict[str, Any]:
+    """A JSON-serializable snapshot of *config* (checkpoint payload)."""
+    data = dict(config.__dict__)
+    data["mined_kinds"] = sorted(config.mined_kinds)
+    return data
+
+
+def config_from_dict(data: Dict[str, Any]) -> PAConfig:
+    """Revive a :func:`config_to_dict` snapshot; unknown keys (from
+    newer schema minors) are dropped."""
+    known = set(PAConfig.__dataclass_fields__)
+    fields = {k: v for k, v in data.items() if k in known}
+    if "mined_kinds" in fields:
+        fields["mined_kinds"] = frozenset(fields["mined_kinds"])
+    return PAConfig(**fields)
+
+
+def _record_to_dict(record: ExtractionRecord) -> Dict[str, Any]:
+    return {
+        "round": record.round,
+        "method": record.method,
+        "size": record.size,
+        "occurrences": record.occurrences,
+        "benefit": record.benefit,
+        "new_symbol": record.new_symbol,
+        "instructions": list(record.instructions),
+    }
+
+
+def _write_run_checkpoint(path: str, module: Module, config: PAConfig,
+                          governor: RunGovernor, result: PAResult,
+                          round_index: int,
+                          carryover: List[Candidate],
+                          blocklist: Set[str]) -> None:
+    """Serialize the resumable state after a committed round."""
+    checkpoint = _ckpt.Checkpoint(
+        round=round_index,
+        asm=module.render(),
+        entry=module.entry,
+        fresh=module._fresh,
+        config=config_to_dict(config),
+        carryover=[_ckpt.candidate_to_dict(c) for c in carryover],
+        blocklist=sorted(blocklist),
+        records=[_record_to_dict(r) for r in result.records],
+        pa_exempt=sorted(
+            f.name for f in module.functions if f.pa_exempt
+        ),
+        instructions_before=result.instructions_before,
+        rounds=result.rounds,
+        lattice_nodes=result.lattice_nodes,
+        deadline_hits=result.deadline_hits,
+        mis_budget_exhausted=(
+            result.mis_budget_exhausted
+            + governor.counters.get("mis.budget_exhausted", 0)
+        ),
+        verify_retries=result.verify_retries,
+    )
+    _ckpt.write_checkpoint(path, checkpoint)
+    if _LEDGER.enabled:
+        _LEDGER.emit("checkpoint", round=round_index, path=path)

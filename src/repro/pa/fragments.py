@@ -21,6 +21,7 @@ the greedy strategy the paper uses.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -86,6 +87,23 @@ class Candidate:
             -self.size,
             tuple(str(i) for i in self.insns),
         )
+
+    def fingerprint(self) -> str:
+        """Canonical identity for the verify-failure blocklist.
+
+        Stable across processes (hashlib, not ``hash()``) and across a
+        rollback + re-mine: the module is restored to the exact pre-
+        round state, so a rediscovered candidate reproduces the same
+        method, body text and occurrence blocks.
+        """
+        payload = "\x1f".join(
+            (
+                self.method.value,
+                "\x1e".join(str(i) for i in self.insns),
+                "\x1e".join(f"{f}#{b}" for f, b in sorted(self.origins)),
+            )
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()[:16]
 
 
 def best_possible_benefit(size: int, occurrences: int) -> int:

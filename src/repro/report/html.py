@@ -12,6 +12,8 @@ from __future__ import annotations
 import html as _html
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.resilience.atomicio import atomic_write_text
+
 _CSS = """
 body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
        max-width: 70rem; padding: 0 1rem; color: #1a1a1a; }
@@ -308,5 +310,4 @@ def write_report(
     tree: Optional[str] = None,
     title: str = "PA run report",
 ) -> None:
-    with open(path, "w") as handle:
-        handle.write(build_report(records, stats, tree, title))
+    atomic_write_text(path, build_report(records, stats, tree, title))

@@ -65,7 +65,19 @@ verify.lint
 verify.counterexample
            translation validator — an equivalence failure: function,
            old/new block indices, the disagreeing resource, both
-           symbolic terms, and both instruction listings
+           symbolic terms, and both instruction listings (carries
+           ``injected: true`` when forged by fault injection)
+verify.retry
+           driver — one verify-failure recovery step: the round was
+           rolled back, the offending candidates blocklisted by
+           canonical fingerprint, and the round re-mined
+checkpoint driver — one crash-safe checkpoint written (round, path)
+run.degraded
+           driver — the run wound down early but cleanly: the
+           degradation causes (time_budget / interrupted /
+           verify_retries), rounds completed, instructions kept
+run.abort  CLI boundary — a typed internal failure ended the run:
+           error code, message
 run.end    driver — rounds, saved instructions, elapsed seconds, and
            the per-type dropped-record census
 ========== ==========================================================
@@ -75,6 +87,9 @@ from __future__ import annotations
 
 import json
 from typing import Any, Dict, Iterator, List, Optional
+
+from repro.resilience.atomicio import atomic_write_text
+from repro.resilience.faultinject import fault
 
 #: Version tag of the ledger JSONL schema.
 LEDGER_SCHEMA = "repro.report.ledger/1"
@@ -210,10 +225,13 @@ class Ledger:
     # persistence
     # ------------------------------------------------------------------
     def write_jsonl(self, path: str) -> None:
-        with open(path, "w") as handle:
-            for record in self.records:
-                json.dump(record, handle, default=str)
-                handle.write("\n")
+        """Write the stream atomically — a crash mid-export can never
+        leave a truncated (unparseable) JSONL behind."""
+        fault("ledger.write")
+        lines = [
+            json.dumps(record, default=str) for record in self.records
+        ]
+        atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
 
 
 def read_jsonl(path: str) -> List[Dict[str, Any]]:

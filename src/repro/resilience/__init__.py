@@ -1,0 +1,64 @@
+"""Resilience: run governor, checkpoint/resume, recovery, fault injection.
+
+The abstraction pipeline is an exponential-in-the-worst-case search; on
+real inputs it can outlive any wall clock, crash mid-rewrite, or trip
+its own translation validator.  This package makes every one of those
+endings a *clean* ending:
+
+* :mod:`repro.resilience.governor` — one deadline/interrupt/budget
+  object for the whole run (replacing the scattered ad-hoc budgets),
+  with anytime semantics: the run always finishes with a valid,
+  best-so-far module.
+* :mod:`repro.resilience.checkpoint` — crash-safe round-boundary
+  checkpoints (atomic write, schema ``repro.resilience.ckpt/1``) and
+  resume with a bit-identical-output guarantee.
+* :mod:`repro.resilience.errors` — the typed :class:`ReproError`
+  hierarchy with stable error codes and exit codes; the CLI boundary
+  converts every internal failure into a structured diagnostic.
+* :mod:`repro.resilience.faultinject` — a deterministic, off-by-default
+  registry of named fault points for chaos testing the above.
+* :mod:`repro.resilience.atomicio` — the shared atomic-write helper all
+  CLI artifact writers go through.
+"""
+
+from repro.resilience.atomicio import atomic_write_text
+from repro.resilience.errors import (
+    CheckpointError,
+    ERROR_CODES,
+    EXIT_CHECKPOINT,
+    EXIT_FAULT,
+    EXIT_INTERNAL,
+    EXIT_INTERRUPT,
+    EXIT_VERIFY,
+    FaultInjected,
+    ReproError,
+)
+from repro.resilience.faultinject import (
+    FAULT_POINTS,
+    arm,
+    armed_points,
+    disarm_all,
+    fault,
+)
+from repro.resilience.governor import RunGovernor, activate, current
+
+__all__ = [
+    "ReproError",
+    "CheckpointError",
+    "FaultInjected",
+    "ERROR_CODES",
+    "EXIT_VERIFY",
+    "EXIT_CHECKPOINT",
+    "EXIT_FAULT",
+    "EXIT_INTERNAL",
+    "EXIT_INTERRUPT",
+    "RunGovernor",
+    "activate",
+    "current",
+    "atomic_write_text",
+    "FAULT_POINTS",
+    "arm",
+    "armed_points",
+    "disarm_all",
+    "fault",
+]

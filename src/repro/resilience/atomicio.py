@@ -1,0 +1,42 @@
+"""Atomic file writes: tmp + fsync + rename, same directory.
+
+Every CLI artifact writer (checkpoints, ledger JSONL, traces, stats,
+reports, rendered assembly, benchmark snapshots) goes through
+:func:`atomic_write_text`, so a crash — or an injected fault — at any
+instant leaves either the complete old file or the complete new file on
+disk, never a truncated one.  The rename also implements the CLI's
+``--force`` clobber semantics unchanged: overwrite-or-not is decided
+*before* the run by the output-path preflight, and the final rename
+replaces the target in one step.
+
+This module deliberately imports nothing from the rest of the package
+so every layer (telemetry, report, benchmarks) can use it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write *text* to *path* atomically (tmp file + fsync + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        # Never leave the temp file behind — the artifact directory must
+        # contain only complete outputs.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.resilience.atomicio import atomic_write_text
 from repro.telemetry.core import SpanRecord, Telemetry
 
 #: Version tag of the stats JSON schema.  /2 added histogram
@@ -85,8 +86,8 @@ def chrome_trace(telemetry: Telemetry,
 
 def write_chrome_trace(telemetry: Telemetry, path: str,
                        process_name: str = "repro") -> None:
-    with open(path, "w") as handle:
-        json.dump(chrome_trace(telemetry, process_name), handle)
+    atomic_write_text(path, json.dumps(chrome_trace(telemetry,
+                                                    process_name)))
 
 
 # ----------------------------------------------------------------------
@@ -128,9 +129,9 @@ def stats_dict(telemetry: Telemetry) -> Dict[str, Any]:
 
 
 def write_stats(telemetry: Telemetry, path: str) -> None:
-    with open(path, "w") as handle:
-        json.dump(stats_dict(telemetry), handle, indent=2)
-        handle.write("\n")
+    atomic_write_text(
+        path, json.dumps(stats_dict(telemetry), indent=2) + "\n"
+    )
 
 
 def _jsonable(value: Any) -> Any:

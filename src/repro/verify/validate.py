@@ -43,6 +43,7 @@ from repro.binary.program import Function, Module
 from repro.isa.instructions import Instruction
 from repro.isa.registers import LR, PC, SP, reg_name
 from repro.report.ledger import GLOBAL as _LEDGER
+from repro.resilience.faultinject import fault
 from repro.telemetry import GLOBAL as _TELEMETRY
 
 from repro.verify.lint import LintReport, lint_module
@@ -321,6 +322,7 @@ def verify_round(
     *pre_lr_live* the pre-round block set where ``lr`` is live out
     (see the module docstring for why the validator needs it).
     """
+    fault("verify.round")
     with _TELEMETRY.span("pa.verify", round=round_index):
         return _verify_round(
             module, snapshot, records, pre_lr_live, round_index
@@ -376,6 +378,11 @@ def _verify_round(module, snapshot, records, pre_lr_live, round_index):
     if missing:
         raise StructureError(f"functions disappeared: {sorted(missing)}")
 
+    # Chaos hook: when armed, forge an equivalence failure for the first
+    # genuinely rewritten block — exercising the driver's rollback +
+    # blocklist + retry path against a real candidate's origin.
+    forced = fault("verify.counterexample") is not None
+
     for name, old_blocks in snapshot:
         func = new_functions[name]
         for old_index, new_index, old_insns, new_insns in _align_function(
@@ -385,6 +392,29 @@ def _verify_round(module, snapshot, records, pre_lr_live, round_index):
             if old_insns == new_insns:
                 stats.blocks_identical += 1
                 continue
+            if forced:
+                counterexample = Counterexample(
+                    function=name,
+                    old_block=old_index,
+                    new_block=new_index,
+                    resource="injected",
+                    old_term="<injected>",
+                    new_term="<injected>",
+                    old_instructions=tuple(str(i) for i in old_insns),
+                    new_instructions=tuple(str(i) for i in new_insns),
+                )
+                if _LEDGER.enabled:
+                    _LEDGER.emit(
+                        "verify.counterexample",
+                        round=round_index,
+                        injected=True,
+                        **counterexample.to_dict(),
+                    )
+                raise TranslationValidationError(
+                    f"round {round_index}: injected counterexample for "
+                    f"{name} block {old_index}",
+                    counterexample=counterexample,
+                )
             stats.blocks_checked += 1
             exempt_lr = (
                 any(

@@ -1,0 +1,45 @@
+"""The shared atomic writer every CLI output path goes through."""
+
+import os
+
+import pytest
+
+from repro.resilience.atomicio import atomic_write_text
+
+
+def test_writes_new_file(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(str(path), "hello\n")
+    assert path.read_text() == "hello\n"
+
+
+def test_replaces_existing_file(tmp_path):
+    path = tmp_path / "out.txt"
+    path.write_text("old")
+    atomic_write_text(str(path), "new")
+    assert path.read_text() == "new"
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(str(path), "x" * 10_000)
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_failed_write_leaves_target_untouched(tmp_path, monkeypatch):
+    path = tmp_path / "out.txt"
+    path.write_text("precious")
+
+    def exploding_fsync(fd):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(os, "fsync", exploding_fsync)
+    with pytest.raises(OSError):
+        atomic_write_text(str(path), "torn")
+    assert path.read_text() == "precious"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_missing_directory_raises(tmp_path):
+    with pytest.raises(OSError):
+        atomic_write_text(str(tmp_path / "no" / "such" / "dir.txt"), "x")

@@ -1,0 +1,90 @@
+"""Interrupt safety: a KeyboardInterrupt at any fault point mid-round
+leaves the module either fully rolled back or fully advanced.
+
+The invariant is checked two ways: the module still passes the full
+lint (no dangling references, no torn blocks), and its instruction
+count is exactly one of the round-boundary counts of an uninterrupted
+reference run — never a half-applied batch in between.
+"""
+
+import pytest
+
+from repro.pa.driver import PAConfig, run_pa
+from repro.resilience.faultinject import arm
+from repro.verify.lint import lint_module
+from repro.workloads import compile_workload
+
+WORKLOAD = "crc"
+
+#: every fault point a round passes through, armed in interrupt mode;
+#: extract.candidate:2 fires *between* rewrites of one batch — the
+#: half-applied-round case the rollback exists for.
+INTERRUPT_SPECS = [
+    "mine.pass:interrupt",
+    "mine.pass:interrupt:2",
+    "mine.search:interrupt:100",
+    "mine.filter:interrupt",
+    "mis.solve:interrupt:3",
+    "extract.apply:interrupt",
+    "extract.apply:interrupt:2",
+    "extract.candidate:interrupt:2",
+    "verify.round:interrupt",
+]
+
+
+def _config(**overrides):
+    return PAConfig(max_nodes=4, **overrides)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Uninterrupted run + the set of legal round-boundary counts."""
+    module = compile_workload(WORKLOAD)
+    before = module.num_instructions
+    result = run_pa(module, _config())
+    boundaries = {before}
+    running = before
+    for round_index in range(result.rounds):
+        running -= sum(r.benefit for r in result.records
+                       if r.round == round_index)
+        boundaries.add(running)
+    assert module.num_instructions in boundaries
+    return boundaries
+
+
+@pytest.mark.parametrize("spec", INTERRUPT_SPECS)
+def test_interrupt_leaves_consistent_module(spec, reference):
+    module = compile_workload(WORKLOAD)
+    arm(spec)
+    config = _config(verify=spec.startswith("verify."))
+    result = run_pa(module, config)     # must not raise
+    if result.rolled_back_rounds or result.degraded:
+        assert "interrupted" in result.degraded_reasons
+    report = lint_module(module)
+    assert report.ok, f"{spec}: lint broke: {report.render()}"
+    assert module.num_instructions in reference, (
+        f"{spec}: {module.num_instructions} is not a round boundary "
+        f"({sorted(reference)})"
+    )
+
+
+def test_interrupted_result_is_best_so_far():
+    module = compile_workload(WORKLOAD)
+    arm("extract.apply:interrupt:2")
+    result = run_pa(module, _config())
+    # round 0 committed before the interrupt hit round 1
+    assert result.rounds == 1
+    assert result.degraded
+    assert result.degraded_reasons == ["interrupted"]
+    assert result.saved > 0
+    assert result.rolled_back_rounds == 1
+
+
+def test_interrupt_before_any_round_commits():
+    module = compile_workload(WORKLOAD)
+    before = module.num_instructions
+    arm("mine.pass:interrupt")          # fires in round 0's first pass
+    result = run_pa(module, _config())
+    assert result.rounds == 0
+    assert module.num_instructions == before
+    assert result.degraded

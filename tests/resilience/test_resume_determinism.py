@@ -1,0 +1,75 @@
+"""Resume determinism: checkpoint after round 1, resume, and the final
+binary must be bit-identical to the uninterrupted run — on all eight
+workloads.
+
+This is the differential guarantee that makes ``--checkpoint`` safe to
+leave on in production runs: resuming never changes the result, only
+the wall-clock shape of getting there.
+"""
+
+import pytest
+
+from repro.pa.driver import PAConfig, config_from_dict, run_pa
+from repro.resilience.checkpoint import (
+    load_checkpoint,
+    module_from_checkpoint,
+)
+from repro.workloads import PROGRAMS, compile_workload
+
+
+def _config(**overrides):
+    # max_nodes=4 keeps the whole 8-workload sweep inside the tier-1
+    # time budget; the checkpoint path is depth-independent.
+    return PAConfig(max_nodes=4, **overrides)
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_resume_bit_identical(name, tmp_path):
+    uninterrupted = compile_workload(name)
+    reference_result = run_pa(uninterrupted, _config())
+    reference = uninterrupted.render()
+
+    path = str(tmp_path / "ck.json")
+    interrupted = compile_workload(name)
+    partial = run_pa(interrupted, _config(max_rounds=1,
+                                          checkpoint_path=path))
+
+    if partial.rounds == 0:
+        # nothing extractable: no round committed, no checkpoint —
+        # the uninterrupted reference must agree nothing was found
+        assert reference_result.rounds == 0
+        return
+
+    checkpoint = load_checkpoint(path)
+    assert checkpoint.round == 0
+    resumed_module = module_from_checkpoint(checkpoint)
+    assert resumed_module.render() == interrupted.render()
+
+    config = config_from_dict(checkpoint.config)
+    config.max_rounds = PAConfig().max_rounds
+    config.checkpoint_path = None
+    resumed = run_pa(resumed_module, config, resume=checkpoint)
+
+    assert resumed_module.render() == reference, (
+        f"{name}: resumed binary differs from the uninterrupted run"
+    )
+    assert resumed.resumed_from_round == 0
+    assert resumed.rounds == reference_result.rounds
+    assert (
+        [(r.round, r.method, r.new_symbol) for r in resumed.records]
+        == [(r.round, r.method, r.new_symbol)
+            for r in reference_result.records]
+    )
+    assert resumed.instructions_before == reference_result.instructions_before
+    assert resumed.saved == reference_result.saved
+
+
+def test_checkpoint_carries_fresh_counter(tmp_path):
+    """A resumed run must draw the same fresh symbols the uninterrupted
+    run would — the counter travels in the checkpoint."""
+    path = str(tmp_path / "ck.json")
+    module = compile_workload("crc")
+    run_pa(module, _config(max_rounds=1, checkpoint_path=path))
+    checkpoint = load_checkpoint(path)
+    assert checkpoint.fresh == module._fresh
+    assert checkpoint.fresh > 0

@@ -1,0 +1,92 @@
+"""Verify-failure recovery: a translation-validation counterexample
+rolls the round back, blocklists the offender, and re-mines — only an
+exhausted retry budget degrades to the historical abort.
+
+The counterexample is forged via the ``verify.counterexample`` fault
+point in ``corrupt`` mode (non-raising: the validator sees the marker
+and manufactures an equivalence failure for the first genuinely
+rewritten block), so the recovery path is exercised against a real
+candidate's origin coordinates.
+"""
+
+import pytest
+
+from repro.report import ledger
+from repro.pa.driver import PAConfig, run_pa
+from repro.resilience.faultinject import arm
+from repro.verify.lint import lint_module
+from repro.verify.validate import TranslationValidationError
+from repro.workloads import compile_workload, verify_workload
+
+WORKLOAD = "crc"
+
+
+def _config(**overrides):
+    overrides.setdefault("verify", True)
+    return PAConfig(max_nodes=4, **overrides)
+
+
+def test_counterexample_triggers_rollback_blocklist_retry():
+    module = compile_workload(WORKLOAD)
+    arm("verify.counterexample:corrupt")      # one forged failure
+    result = run_pa(module, _config())        # must not raise
+    assert result.verify_retries == 1
+    assert result.rolled_back_rounds == 1
+    assert result.degraded
+    assert "verify_retries" in result.degraded_reasons
+    assert lint_module(module).ok
+    verify_workload(WORKLOAD, module)
+
+
+def test_retry_round_skips_the_blocklisted_candidate():
+    reference = compile_workload(WORKLOAD)
+    clean = run_pa(reference, _config())
+
+    module = compile_workload(WORKLOAD)
+    arm("verify.counterexample:corrupt")
+    recovered = run_pa(module, _config())
+    # recovery may skip the blocklisted extraction, so it can save at
+    # most as much as the clean run — but the run must still finish
+    # with a valid, verified module
+    assert recovered.saved <= clean.saved
+    assert recovered.rounds >= 1
+
+
+def test_exhausted_retries_degrade_to_abort():
+    module = compile_workload(WORKLOAD)
+    before_asm = module.render()
+    arm("verify.counterexample:corrupt:0")    # every verify fails
+    with pytest.raises(TranslationValidationError):
+        run_pa(module, _config(verify_max_retries=2))
+    # the failed round was rolled back: the module is untouched
+    assert module.render() == before_asm
+
+
+def test_retry_budget_is_configurable():
+    module = compile_workload(WORKLOAD)
+    arm("verify.counterexample:corrupt:0")
+    with pytest.raises(TranslationValidationError):
+        run_pa(module, _config(verify_max_retries=0))
+
+
+def test_retry_emits_ledger_records():
+    ledger.reset()
+    ledger.enable()
+    try:
+        module = compile_workload(WORKLOAD)
+        arm("verify.counterexample:corrupt")
+        run_pa(module, _config())
+        retries = ledger.get().records_of("verify.retry")
+        assert len(retries) == 1
+        assert retries[0]["round"] == 0
+        assert retries[0]["attempt"] == 1
+        assert retries[0]["blocklisted"], "no fingerprints recorded"
+        counterexamples = ledger.get().records_of("verify.counterexample")
+        assert len(counterexamples) == 1
+        assert counterexamples[0]["injected"] is True
+        degraded = ledger.get().records_of("run.degraded")
+        assert len(degraded) == 1
+        assert "verify_retries" in degraded[0]["reasons"]
+    finally:
+        ledger.disable()
+        ledger.reset()
