@@ -11,7 +11,7 @@ a benchmark row is only reported for *correct* transformations.
 Run as a script, the harness writes a schema-versioned benchmark JSON
 (``repro.bench/1``) for regression tracking::
 
-    PYTHONPATH=src python benchmarks/harness.py --bench-out BENCH_sha.json
+    PYTHONPATH=src python benchmarks/harness.py --bench-out BENCH_all.json
 
 ``benchmarks/regress.py`` compares two such files with tolerance bands.
 """
@@ -49,12 +49,23 @@ ENGINES = ("sfx", "dgspan", "edgar")
 #: Version tag of the ``--bench-out`` JSON schema.
 BENCH_SCHEMA = "repro.bench/1"
 
-#: Default grid for the committed regression baseline.  DgSpan is
-#: excluded: it exhausts its time budget on the larger workloads, so
-#: its savings depend on wall-clock speed — exactly what a regression
-#: baseline must not do.  sfx and edgar terminate deterministically.
-BASELINE_WORKLOADS = ("sha",)
+#: Default grid for the committed regression baseline (BENCH_all.json):
+#: every bundled workload.  DgSpan is excluded: it exhausts its time
+#: budget on the larger workloads, so its savings depend on wall-clock
+#: speed — exactly what a regression baseline must not do.  sfx and
+#: edgar terminate deterministically.
+BASELINE_WORKLOADS = (
+    "bitcnts", "crc", "dijkstra", "patricia", "qsort", "rijndael",
+    "search", "sha",
+)
 BASELINE_ENGINES = ("sfx", "edgar")
+
+#: Cells whose edgar run hits the wall-clock budget instead of
+#: converging: the savings they report depend on machine speed, so a
+#: committed baseline containing them would flap across hosts.  They
+#: stay runnable via --workloads/--engines; only the baseline grid
+#: skips them.
+BASELINE_SKIP = frozenset({("bitcnts", "edgar"), ("rijndael", "edgar")})
 
 
 @dataclass
@@ -179,6 +190,8 @@ def bench_results(workloads=BASELINE_WORKLOADS,
             "engines": {},
         }
         for engine in engines:
+            if (name, engine) in BASELINE_SKIP:
+                continue
             # sfx is the sequence baseline; PAConfig knobs like
             # time_budget do not apply to it
             per_engine = {} if engine == "sfx" else overrides
@@ -206,7 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--bench-out", metavar="FILE", required=True,
-        help="output path (e.g. BENCH_sha.json)",
+        help="output path (e.g. BENCH_all.json)",
     )
     parser.add_argument(
         "--workloads", nargs="+", default=list(BASELINE_WORKLOADS),

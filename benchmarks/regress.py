@@ -3,9 +3,9 @@
 ::
 
     PYTHONPATH=src python benchmarks/harness.py --bench-out fresh.json
-    python benchmarks/regress.py BENCH_sha.json fresh.json
+    python benchmarks/regress.py BENCH_all.json fresh.json
 
-The committed baseline (``BENCH_sha.json``) pins the *result* metrics —
+The committed baseline (``BENCH_all.json``) pins the *result* metrics —
 saved instructions, rounds, call/cross-jump mix, final instruction
 count — which are deterministic for the baseline grid and must match
 exactly; any drift is a correctness regression (or an intentional

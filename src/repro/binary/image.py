@@ -19,8 +19,11 @@ footnote 1).
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.resilience.errors import EXIT_INPUT, ReproError
 
 #: Default load address of the text section (conventional ARM value).
 TEXT_BASE = 0x8000
@@ -28,6 +31,28 @@ TEXT_BASE = 0x8000
 DATA_BASE = 0x40000
 #: Initial stack pointer (stack grows down).
 STACK_TOP = 0x80000
+
+#: ``.img`` container magic ("Repro IMaGe").
+IMG_MAGIC = b"RIMG"
+#: Current ``.img`` container version.
+IMG_VERSION = 1
+
+#: Header layout: magic, u16 version, u16 reserved, then five u32 LE
+#: fields (text_base, data_base, entry, text word count, data word
+#: count) followed by the raw little-endian words of both sections.
+_HEADER = struct.Struct("<4sHH5I")
+
+
+class ImageFormatError(ReproError, ValueError):
+    """Raised when serialized ``.img`` bytes cannot be parsed.
+
+    Shares ``REPRO-IMAGE`` with :class:`repro.binary.loader.LoaderError`:
+    both mean "the input image is malformed", the only difference being
+    which layer rejected it.
+    """
+
+    code = "REPRO-IMAGE"
+    exit_code = EXIT_INPUT
 
 
 @dataclass
@@ -86,3 +111,59 @@ class Image:
             if sym_addr == addr:
                 return name
         return None
+
+    # ------------------------------------------------------------------
+    # ``.img`` container (de)serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the ``.img`` container format.
+
+        The symbol table is deliberately dropped: the loader never needs
+        it (naming only), and omitting it keeps the on-disk format an
+        honest model of a stripped embedded firmware image.
+        """
+        header = _HEADER.pack(
+            IMG_MAGIC, IMG_VERSION, 0,
+            self.text_base, self.data_base, self.entry,
+            len(self.text), len(self.data),
+        )
+        words = struct.pack(
+            f"<{len(self.text) + len(self.data)}I", *self.text, *self.data
+        )
+        return header + words
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Image":
+        """Parse ``.img`` bytes; raises :class:`ImageFormatError`."""
+        if len(blob) < _HEADER.size:
+            raise ImageFormatError(
+                f"image truncated: {len(blob)} bytes is shorter than the "
+                f"{_HEADER.size}-byte header"
+            )
+        magic, version, _reserved, text_base, data_base, entry, \
+            n_text, n_data = _HEADER.unpack_from(blob)
+        if magic != IMG_MAGIC:
+            raise ImageFormatError(f"bad image magic {magic!r}")
+        if version != IMG_VERSION:
+            raise ImageFormatError(
+                f"unsupported image version {version} "
+                f"(expected {IMG_VERSION})"
+            )
+        body = blob[_HEADER.size:]
+        expected = 4 * (n_text + n_data)
+        if len(body) != expected:
+            raise ImageFormatError(
+                f"image body is {len(body)} bytes; header promises "
+                f"{expected} ({n_text} text + {n_data} data words)"
+            )
+        words = struct.unpack(f"<{n_text + n_data}I", body)
+        try:
+            return cls(
+                text=list(words[:n_text]),
+                data=list(words[n_text:]),
+                text_base=text_base,
+                data_base=data_base,
+                entry=entry,
+            )
+        except ValueError as exc:
+            raise ImageFormatError(str(exc)) from exc

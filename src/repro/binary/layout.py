@@ -63,6 +63,13 @@ def layout(module: Module, text_base: int = TEXT_BASE,
             addr += 4
     text_words = (addr - text_base) // 4
 
+    # The fixed data base caps text at ~57k words; huge programs (the
+    # variance fuzzer scales to 100k+ instructions) push the data
+    # section up to the next 64k boundary past the text instead.  All
+    # data references resolve through label_addr, so the bump is
+    # transparent; images that fit keep the paper's conventional map.
+    if addr > data_base:
+        data_base = (addr + 0xFFFF) & ~0xFFFF
     addr = data_base
     data_word_addrs: List[Tuple[object, int]] = []
     for item in module.data:

@@ -31,10 +31,20 @@ from repro.binary.blocks import module_from_asm
 from repro.binary.image import Image
 from repro.binary.pools import pc_relative_target
 from repro.binary.program import Module
+from repro.resilience.errors import EXIT_INPUT, ReproError
 
 
-class LoaderError(ValueError):
-    """Raised when an image cannot be decompiled."""
+class LoaderError(ReproError, ValueError):
+    """Raised when an image cannot be decompiled.
+
+    A :class:`~repro.resilience.errors.ReproError`: a malformed input
+    image crosses the CLI boundary as ``error[REPRO-IMAGE]`` (exit 5),
+    never as a traceback.  ``ValueError`` is kept in the bases for
+    backward compatibility with callers that catch it.
+    """
+
+    code = "REPRO-IMAGE"
+    exit_code = EXIT_INPUT
 
 
 def load_image(image: Image) -> Module:
@@ -64,6 +74,11 @@ def load_image(image: Image) -> Module:
                     raise LoaderError(
                         f"pc-relative load at {addr_of(i):#x} targets "
                         f"{target:#x} outside the text section"
+                    )
+                if target % 4:
+                    raise LoaderError(
+                        f"pc-relative load at {addr_of(i):#x} targets "
+                        f"unaligned address {target:#x}"
                     )
                 pool_targets.add((target - image.text_base) // 4)
         if pool_targets <= data_indices:
@@ -120,7 +135,13 @@ def load_image(image: Image) -> Module:
                 "ldr", (insn.operands[0], literal), cond=insn.cond
             )
         elif insn.mnemonic in ("b", "bl"):
-            target_addr = int(insn.operands[0].name.split("_")[1], 16)
+            try:
+                target_addr = int(insn.operands[0].name.split("_")[1], 16)
+            except (AttributeError, IndexError, ValueError) as exc:
+                raise LoaderError(
+                    f"branch at {addr_of(i):#x} has unresolvable target "
+                    f"{insn.operands[0]!r}"
+                ) from exc
             if not image.in_text(target_addr):
                 raise LoaderError(
                     f"branch at {addr_of(i):#x} targets {target_addr:#x} "

@@ -11,6 +11,9 @@ Commands
 ``stats``     DFG fan statistics for a program (Tables 2/3 style)
 ``profile``   run a workload under telemetry and print the phase tree
 ``explain``   narrate one abstraction round from the decision ledger
+``variance``  differential robustness sweep over perturbed compiler
+              variants (schema ``repro.variance/1``); ``--fuzz-seed``
+              swaps the workload for a generated mini-C program
 
 ``pa --verify`` translation-validates every extraction round (re-lint +
 symbolic block equivalence, see :mod:`repro.verify.validate`) and exits
@@ -44,6 +47,7 @@ to re-raise).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -60,8 +64,16 @@ from repro.binary.program import Module
 from repro.dfg.builder import build_dfgs
 from repro.dfg.graph import FLOW_KINDS
 from repro.dfg.stats import fanout_summary
+from repro.binary.image import Image
+from repro.binary.loader import load_image
 from repro.isa.assembler import parse_program
-from repro.minicc.driver import compile_to_asm, compile_to_module
+from repro.minicc.driver import (
+    CompileConfig,
+    compile_to_asm,
+    compile_to_image,
+    compile_to_module,
+)
+from repro.minicc.scheduler import WINDOW
 from repro.pa.driver import PAConfig, config_from_dict, run_pa
 from repro.pa.sfx import SFXConfig, run_sfx
 from repro.resilience import faultinject
@@ -71,12 +83,19 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.errors import EXIT_INTERNAL, EXIT_INTERRUPT, ReproError
 from repro.sim.machine import run_image
+from repro.variance.genprog import GenConfig, generate_source, sized_config
+from repro.variance.harness import VarianceConfig, run_variance
 from repro.verify.lint import Severity, lint_module
 from repro.verify.validate import TranslationValidationError
 from repro.workloads import PROGRAMS, compile_workload, verify_workload
 
 
 def _load_module(path: str, assembly: bool) -> Module:
+    if path.endswith(".img"):
+        # A linked binary image: decompile it through the loader, the
+        # same path the paper's post link-time optimizer takes.
+        with open(path, "rb") as handle:
+            return load_image(Image.from_bytes(handle.read()))
     with open(path) as handle:
         source = handle.read()
     if assembly or path.endswith((".s", ".asm")):
@@ -191,9 +210,30 @@ def _telemetry_finish(args) -> None:
     telemetry.disable()
 
 
+def _compile_config_from_args(args) -> CompileConfig:
+    """Collect the codegen-perturbation flags into a CompileConfig."""
+    return CompileConfig(
+        schedule=not args.no_schedule,
+        schedule_window=args.schedule_window,
+        peephole=args.peephole,
+        layout_seed=args.layout_seed,
+        regalloc_seed=args.regalloc_seed,
+    )
+
+
 def cmd_compile(args) -> int:
     with open(args.source) as handle:
-        print(compile_to_asm(handle.read(), schedule=not args.no_schedule))
+        source = handle.read()
+    config = _compile_config_from_args(args)
+    if args.image_out:
+        image = compile_to_image(source, config=config)
+        with open(args.image_out, "wb") as handle:
+            handle.write(image.to_bytes())
+        print(f"wrote {args.image_out} ({image.text_size_bytes} text "
+              f"bytes + {4 * len(image.data)} data bytes)",
+              file=sys.stderr)
+        return 0
+    print(compile_to_asm(source, config=config))
     return 0
 
 
@@ -435,6 +475,101 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_variance(args) -> int:
+    """Differential compilation-variance sweep (schema repro.variance/1).
+
+    Exit 1 when the oracle disagrees on any variant, the variants'
+    original builds behave differently, or ``--min-overlap`` is not
+    met; exit 0 otherwise.
+    """
+    if args.fuzz_seed is not None:
+        if args.fuzz_size:
+            gen = sized_config(args.fuzz_seed, args.fuzz_size)
+        else:
+            gen = GenConfig(seed=args.fuzz_seed)
+        source = generate_source(gen)
+        source_name = f"fuzz-{args.fuzz_seed}"
+    elif args.workload in PROGRAMS:
+        source = PROGRAMS[args.workload].source
+        source_name = args.workload
+    elif os.path.exists(args.workload):
+        with open(args.workload) as handle:
+            source = handle.read()
+        source_name = args.workload
+    else:
+        sys.exit(
+            f"error: {args.workload!r} is neither a bundled workload "
+            f"({', '.join(sorted(PROGRAMS))}) nor a mini-C file"
+        )
+
+    if args.json_out and args.json_out != "-":
+        directory = os.path.dirname(args.json_out) or "."
+        if not os.path.isdir(directory):
+            sys.exit("error: output directory does not exist: "
+                     f"{args.json_out}")
+        if os.path.exists(args.json_out) and not args.force:
+            sys.exit(f"error: refusing to overwrite {args.json_out} "
+                     "(use --force)")
+    ledgered = _ledger_begin(args)
+
+    config = VarianceConfig(
+        engine=args.engine,
+        n_variants=args.variants,
+        grid_seed=args.seed,
+        max_nodes=args.max_nodes,
+        time_budget=args.time_budget,
+        verify=args.verify,
+        max_steps=args.max_steps,
+    )
+    with ledger.GLOBAL.context(source=source_name):
+        report = run_variance(source, config, source_name=source_name)
+
+    out = sys.stderr if args.json_out == "-" else sys.stdout
+    print(f"variance sweep: {source_name} x {report['n_variants']} "
+          f"variants ({args.engine})", file=out)
+    for row in report["variants"]:
+        oracle = "oracle ok" if row["oracle_ok"] else (
+            f"ORACLE FAILED: {row['oracle_detail']}")
+        print(f"  {row['name']:<24s} {row['instructions_before']:5d} -> "
+              f"{row['instructions_after']:5d} (saved {row['saved']:3d}, "
+              f"{row['fragments']} fragments) [{oracle}]", file=out)
+    print(f"  fragment overlap: mean jaccard "
+          f"{report['overlap']['mean_jaccard']}, min "
+          f"{report['overlap']['min_jaccard']}", file=out)
+    print(f"  savings degradation: {report['savings']['degradation']} "
+          f"(max {report['savings']['max']}, min "
+          f"{report['savings']['min']})", file=out)
+
+    status = 0
+    if not report["oracle_ok"]:
+        print("FAIL: abstraction changed behaviour on at least one "
+              "variant", file=sys.stderr)
+        status = 1
+    if not report["cross_variant_behaviour_ok"]:
+        print("FAIL: variant builds of the same source behave "
+              "differently (codegen-knob bug)", file=sys.stderr)
+        status = 1
+    if (args.min_overlap is not None
+            and report["overlap"]["mean_jaccard"] < args.min_overlap):
+        print(f"FAIL: mean fragment overlap "
+              f"{report['overlap']['mean_jaccard']} below the "
+              f"--min-overlap {args.min_overlap} gate", file=sys.stderr)
+        status = 1
+
+    if args.json_out == "-":
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    elif args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if ledgered:
+        _ledger_finish(args, title=f"Variance sweep — {source_name} "
+                                   f"({args.engine})")
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -442,20 +577,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("compile", help="compile mini-C to assembly")
+    p = sub.add_parser(
+        "compile",
+        help="compile mini-C to assembly (or a linked .img)",
+        description="Compile mini-C to an assembly listing, or with "
+                    "--image-out to a linked binary image.  The "
+                    "remaining flags are compilation-variance knobs "
+                    "(see the variance command): each one perturbs "
+                    "code generation without changing behaviour.",
+    )
     p.add_argument("source")
-    p.add_argument("--no-schedule", action="store_true")
+    p.add_argument("--no-schedule", action="store_true",
+                   help="skip the per-block list scheduler (emit "
+                        "template order)")
+    p.add_argument("--schedule-window", type=int, default=WINDOW,
+                   metavar="N",
+                   help="scheduler lookahead window (default: "
+                        "%(default)s; values < 3 disable reordering)")
+    p.add_argument("--peephole", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="late peephole cleanup: jump-to-next elision "
+                        "and no-op removal (default: off)")
+    p.add_argument("--layout-seed", type=int, default=None, metavar="S",
+                   help="shuffle the function emission order with this "
+                        "seed (default: source order)")
+    p.add_argument("--regalloc-seed", type=int, default=None, metavar="S",
+                   help="permute the callee-saved register assignment "
+                        "order with this seed (default: r4..r10)")
+    p.add_argument("--image-out", metavar="FILE",
+                   help="link and write a runnable binary image "
+                        "(.img) instead of printing assembly")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="compile/assemble and execute")
-    p.add_argument("source")
+    p.add_argument("source",
+                   help="mini-C source, .s/.asm assembly, or linked "
+                        ".img image")
     p.add_argument("--assembly", action="store_true",
                    help="treat the input as assembly, not mini-C")
     p.add_argument("--max-steps", type=int, default=50_000_000)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("pa", help="run procedural abstraction")
-    p.add_argument("source", help="workload name or source path")
+    p.add_argument("source",
+                   help="workload name, source path, or linked .img")
     p.add_argument("--engine", choices=("sfx", "dgspan", "edgar"),
                    default="edgar")
     p.add_argument("--assembly", action="store_true")
@@ -549,6 +714,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("source", help="workload name or source path")
     p.add_argument("--assembly", action="store_true")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "variance",
+        help="differential sweep over perturbed compiler variants",
+        description="Compile one source under a grid of perturbed "
+                    "minicc configurations (scheduler, block layout, "
+                    "register assignment, peephole), abstract every "
+                    "variant, and check three things: the simulation "
+                    "oracle (original vs. abstracted behaviour AND "
+                    "final data-section state, per variant), savings "
+                    "degradation across variants, and pairwise "
+                    "canonical-fingerprint overlap of the mined "
+                    "fragments.  Emits the versioned JSON schema "
+                    "repro.variance/1.",
+    )
+    p.add_argument("--workload", default="sha",
+                   help="bundled workload name or mini-C file "
+                        "(default: sha)")
+    p.add_argument("--fuzz-seed", type=int, default=None, metavar="S",
+                   help="ignore --workload; sweep a program generated "
+                        "by the seeded mini-C fuzzer (genprog)")
+    p.add_argument("--fuzz-size", type=int, default=None,
+                   metavar="INSTRS",
+                   help="approximate static instruction count of the "
+                        "fuzzed program (with --fuzz-seed)")
+    p.add_argument("--variants", type=int, default=4, metavar="K",
+                   help="grid size incl. the baseline (default: 4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="variant-grid seed (default: 0)")
+    p.add_argument("--engine", choices=("sfx", "dgspan", "edgar"),
+                   default="edgar")
+    p.add_argument("--max-nodes", type=int, default=8)
+    p.add_argument("--time-budget", type=float, default=60.0,
+                   help="PA mining budget per variant, seconds "
+                        "(default: %(default)s)")
+    p.add_argument("--max-steps", type=int, default=50_000_000)
+    p.add_argument("--verify", action="store_true",
+                   help="translation-validate every abstraction round "
+                        "on every variant")
+    p.add_argument("--min-overlap", type=float, default=None,
+                   metavar="J",
+                   help="exit 1 when the mean pairwise fragment "
+                        "overlap (Jaccard) falls below this gate")
+    p.add_argument("--json", dest="json_out", nargs="?", const="-",
+                   metavar="FILE",
+                   help="write the repro.variance/1 report as JSON "
+                        "(bare --json prints to stdout)")
+    p.add_argument("--ledger-out", metavar="FILE",
+                   help="write the decision ledger as JSONL")
+    p.add_argument("--force", action="store_true",
+                   help="overwrite existing output files")
+    p.set_defaults(func=cmd_variance)
 
     return parser
 

@@ -23,9 +23,23 @@ from repro.isa.instructions import (
 from repro.isa.operands import SHIFT_OPS, Imm, LabelRef, Mem, Reg, RegList, ShiftedReg
 from repro.isa.registers import SP
 
+from repro.resilience.errors import EXIT_INPUT, ReproError
 
-class DecodingError(ValueError):
-    """Raised when a word does not decode to a supported instruction."""
+
+class DecodingError(ReproError, ValueError):
+    """Raised when a word does not decode to a supported instruction.
+
+    A typed :class:`~repro.resilience.errors.ReproError`: one escaping
+    to the CLI boundary means the input image contained an undecodable
+    word where an instruction was required, which is an ``error[REPRO-
+    IMAGE]`` diagnostic (exit 5), never a traceback.  The loader's
+    speculative decode still catches it locally (undecodable words are
+    reclassified as interwoven data), so only genuine failures escape.
+    ``ValueError`` is kept in the bases for callers that catch it.
+    """
+
+    code = "REPRO-IMAGE"
+    exit_code = EXIT_INPUT
 
 
 def target_label(addr: int) -> str:

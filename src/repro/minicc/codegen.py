@@ -23,6 +23,7 @@ Conventions
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -218,11 +219,13 @@ class _Lowerer:
 # ----------------------------------------------------------------------
 class _FuncCodegen:
     def __init__(self, info: SemaInfo, func_info: FuncInfo,
-                 strings: Dict[str, str]):
+                 strings: Dict[str, str],
+                 regalloc_seed: Optional[int] = None):
         self.info = info
         self.func_info = func_info
         self.func = func_info.decl
         self.strings = strings
+        self.regalloc_seed = regalloc_seed
         self.items: List[Union[Label, Instruction]] = []
         self._label_count = 0
         self._loop_stack: List[Tuple[str, str]] = []  # (continue, break)
@@ -272,11 +275,21 @@ class _FuncCodegen:
         for name in self.func_info.locals:
             if name not in names:
                 names.append(name)
+        homes = list(REG_HOMES)
+        if self.regalloc_seed is not None:
+            # Register-assignment variance knob: permute which callee-
+            # saved register homes which local.  Every permutation is a
+            # valid allocation (the saved-register set adapts), but the
+            # emitted register names — and hence exact fragment matches —
+            # differ between seeds.
+            random.Random(
+                f"regalloc:{self.regalloc_seed}:{self.func.name}"
+            ).shuffle(homes)
         for i, name in enumerate(names):
-            if i < len(REG_HOMES):
-                self.reg_home[name] = REG_HOMES[i]
+            if i < len(homes):
+                self.reg_home[name] = homes[i]
             else:
-                self.slot_home[name] = 4 * (i - len(REG_HOMES))
+                self.slot_home[name] = 4 * (i - len(homes))
 
     @property
     def frame_bytes(self) -> int:
@@ -291,7 +304,7 @@ class _FuncCodegen:
         saved = sorted(set(self.reg_home.values())) + [LR]
         self.emit("push", RegList(tuple(saved)))
         if self.frame_bytes:
-            self.emit("sub", Reg(SP), Reg(SP), Imm(self.frame_bytes))
+            self._adjust_sp("sub", self.frame_bytes)
         for i, param in enumerate(self.func.params):
             self._store_local(param, i)
 
@@ -303,10 +316,22 @@ class _FuncCodegen:
             self.emit("mov", Reg(0), Imm(0))
         self.label(self._return_label)
         if self.frame_bytes:
-            self.emit("add", Reg(SP), Reg(SP), Imm(self.frame_bytes))
+            self._adjust_sp("add", self.frame_bytes)
         self.emit("pop", RegList(tuple(sorted(set(self.reg_home.values()))
                                        + [PC])))
         return self.items
+
+    def _adjust_sp(self, mnemonic: str, amount: int) -> None:
+        """Adjust sp by *amount* in rotated-immediate-encodable steps.
+
+        Any multiple of 4 up to 1020 encodes as a rotated 8-bit
+        immediate, so chunking keeps arbitrarily large frames (many
+        spill slots, e.g. hundreds of lowering temps) encodable.
+        """
+        while amount > 0:
+            step = min(amount, 1020)
+            self.emit(mnemonic, Reg(SP), Reg(SP), Imm(step))
+            amount -= step
 
     # ------------------------------------------------------------------
     # statements
@@ -714,8 +739,18 @@ class _FuncCodegen:
 # module-level generation
 # ----------------------------------------------------------------------
 def generate(program: ast.Program, info: SemaInfo,
-             add_start: bool = True) -> AsmModule:
-    """Generate an assembly module for an analyzed program."""
+             add_start: bool = True,
+             layout_seed: Optional[int] = None,
+             regalloc_seed: Optional[int] = None) -> AsmModule:
+    """Generate an assembly module for an analyzed program.
+
+    *layout_seed* permutes the order functions are emitted in (all
+    control flow is symbolic, so any order is valid — but literal-pool
+    distances, fall-through structure at the image level and the mining
+    enumeration order all shift); *regalloc_seed* permutes the callee-
+    saved register homes per function.  Both are compilation-variance
+    knobs; ``None`` keeps the historical deterministic output.
+    """
     asm = AsmModule()
     strings: Dict[str, str] = {}
     if add_start:
@@ -723,8 +758,12 @@ def generate(program: ast.Program, info: SemaInfo,
         asm.text.append(Label("_start"))
         asm.text.append(Instruction("bl", (LabelRef("main"),)))
         asm.text.append(Instruction("swi", (Imm(0),)))
-    for func in program.functions:
-        generator = _FuncCodegen(info, info.functions[func.name], strings)
+    functions = list(program.functions)
+    if layout_seed is not None:
+        random.Random(f"layout:{layout_seed}").shuffle(functions)
+    for func in functions:
+        generator = _FuncCodegen(info, info.functions[func.name], strings,
+                                 regalloc_seed=regalloc_seed)
         asm.text.extend(generator.generate())
     for decl in program.globals:
         asm.data.append(Label(decl.name))

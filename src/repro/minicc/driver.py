@@ -5,56 +5,118 @@ Mirrors the paper's build setup: programs are compiled for size and
 producing a self-contained image with no dynamic dependencies — "as most
 embedded systems only run one specific application, there is no need for
 dynamic libraries" (§4).
+
+:class:`CompileConfig` bundles the codegen perturbation knobs that the
+compilation-variance grid (:mod:`repro.variance.grid`) sweeps: scheduler
+on/off and lookahead window, peephole cleanup, function-layout shuffle
+and register-assignment order.  The default config reproduces the
+historical single-configuration build bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
 
 from repro.binary.blocks import module_from_asm
 from repro.binary.image import Image
 from repro.binary.layout import layout
 from repro.binary.program import Module
+from repro.resilience.errors import EXIT_INPUT, ReproError
 
 from repro.minicc.codegen import CodegenError, generate
 from repro.minicc.lexer import LexerError
 from repro.minicc.parser import ParseError, parse
+from repro.minicc.peephole import peephole_module
 from repro.minicc.runtime import RUNTIME_SOURCE
-from repro.minicc.scheduler import schedule_module
+from repro.minicc.scheduler import WINDOW, schedule_module
 from repro.minicc.sema import SemaError, analyze
 
 
-class CompileError(ValueError):
-    """Raised for any front-, middle- or back-end failure."""
+class CompileError(ReproError, ValueError):
+    """Raised for any front-, middle- or back-end failure.
+
+    A :class:`~repro.resilience.errors.ReproError`: rejected source
+    crosses the CLI boundary as ``error[REPRO-COMPILE]`` (exit 5), never
+    as a traceback — the contract the fuzzed-program grid relies on.
+    """
+
+    code = "REPRO-COMPILE"
+    exit_code = EXIT_INPUT
 
 
-def _compile(source: str, link_runtime: bool, schedule: bool):
+@dataclass(frozen=True)
+class CompileConfig:
+    """One point in the compilation-variance space.
+
+    The defaults reproduce the historical build exactly; every knob is a
+    perturbation real toolchains exhibit between versions, options and
+    targets (*Binary Decomposition Under Compilation Variance* studies
+    precisely these).
+    """
+
+    #: Run the per-block list scheduler (off = template emission order).
+    schedule: bool = True
+    #: Scheduler lookahead window (different windows, different
+    #: interleavings of the same DFG).
+    schedule_window: int = WINDOW
+    #: Late peephole cleanup (jump-to-next elision, no-op removal).
+    peephole: bool = False
+    #: Shuffle the function emission order (``None`` = source order).
+    layout_seed: Optional[int] = None
+    #: Permute callee-saved register homes (``None`` = fixed r4..r10).
+    regalloc_seed: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable knob dict (variance report cells)."""
+        return asdict(self)
+
+
+def _compile(source: str, link_runtime: bool,
+             config: CompileConfig) -> Any:
     text = source + ("\n" + RUNTIME_SOURCE if link_runtime else "")
     try:
         program = parse(text)
         info = analyze(program)
-        asm = generate(program, info)
+        asm = generate(program, info,
+                       layout_seed=config.layout_seed,
+                       regalloc_seed=config.regalloc_seed)
     except (LexerError, ParseError, SemaError, CodegenError) as exc:
         raise CompileError(str(exc)) from exc
-    if schedule:
-        asm = schedule_module(asm)
+    if config.schedule:
+        asm = schedule_module(asm, window=config.schedule_window)
+    if config.peephole:
+        asm = peephole_module(asm)
     return asm
 
 
+def _resolve_config(schedule: bool,
+                    config: Optional[CompileConfig]) -> CompileConfig:
+    """*config* wins when given; else the legacy ``schedule`` flag."""
+    if config is not None:
+        return config
+    return CompileConfig(schedule=schedule)
+
+
 def compile_to_asm(source: str, link_runtime: bool = True,
-                   schedule: bool = True) -> str:
+                   schedule: bool = True,
+                   config: Optional[CompileConfig] = None) -> str:
     """Compile to assembly text (the ``-S`` view)."""
-    return _compile(source, link_runtime, schedule).render()
+    return _compile(source, link_runtime,
+                    _resolve_config(schedule, config)).render()
 
 
 def compile_to_module(source: str, link_runtime: bool = True,
-                      schedule: bool = True) -> Module:
+                      schedule: bool = True,
+                      config: Optional[CompileConfig] = None) -> Module:
     """Compile to the rewritable program representation."""
-    asm = _compile(source, link_runtime, schedule)
+    asm = _compile(source, link_runtime, _resolve_config(schedule, config))
     return module_from_asm(asm, entry="_start")
 
 
 def compile_to_image(source: str, link_runtime: bool = True,
-                     schedule: bool = True) -> Image:
+                     schedule: bool = True,
+                     config: Optional[CompileConfig] = None) -> Image:
     """Compile and statically link to a runnable image."""
-    return layout(compile_to_module(source, link_runtime, schedule))
+    return layout(compile_to_module(source, link_runtime,
+                                    config=_resolve_config(schedule, config)))

@@ -1,0 +1,98 @@
+"""Peephole cleanup: a compilation-variance knob, off by default.
+
+Real toolchains differ most visibly in whether they run late peephole
+cleanups; PA results depend on it because removing glue instructions
+merges basic blocks and changes which fragments repeat.  This pass
+implements the classic behaviour-preserving subset:
+
+* ``b .L`` where ``.L`` is the very next label (only labels between the
+  branch and its target) — the jump-to-next the structured code
+  generator emits for every ``return`` at the end of a body and for
+  empty else-arms.  Elision merges the two blocks, so downstream block
+  splitting (and hence mining) sees a different program shape.
+* ``mov rX, rX`` without flag setting — a true no-op.
+* ``add/sub/orr/eor/bic rX, rX, #0`` without flag setting — arithmetic
+  identities.
+
+Only compiler-local labels (leading ``.``) are candidates for
+branch elision: a branch to a named function must survive, because
+eliding it would make the previous function fall through into the next
+one and change the function splitting of
+:func:`repro.binary.blocks.module_from_asm`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.assembler import AsmModule, Item, Label
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, LabelRef, Reg
+
+#: Identity-under-zero data-processing mnemonics.
+_ZERO_IDENTITY = frozenset({"add", "sub", "orr", "eor", "bic"})
+
+
+def _is_noop(insn: Instruction) -> bool:
+    """True for instructions with no architectural effect."""
+    if insn.set_flags:
+        return False
+    ops = insn.operands
+    if (insn.mnemonic == "mov" and len(ops) == 2
+            and isinstance(ops[0], Reg) and isinstance(ops[1], Reg)
+            and ops[0].num == ops[1].num):
+        return True
+    if (insn.mnemonic in _ZERO_IDENTITY and len(ops) == 3
+            and isinstance(ops[0], Reg) and isinstance(ops[1], Reg)
+            and ops[0].num == ops[1].num
+            and isinstance(ops[2], Imm) and ops[2].value == 0):
+        return True
+    return False
+
+
+def _is_branch_to_next(items: List[Item], index: int) -> bool:
+    """True when ``items[index]`` branches to an immediately following
+    label (with only labels in between) — taken or not, control ends up
+    at the same instruction, so the branch is dead either way."""
+    insn = items[index]
+    if insn.mnemonic != "b":
+        return False
+    target = insn.operands[0]
+    if not isinstance(target, LabelRef) or not target.name.startswith("."):
+        return False
+    for later in items[index + 1:]:
+        if isinstance(later, Label):
+            if later.name == target.name:
+                return True
+            continue
+        return False
+    return False
+
+
+def peephole_items(items: List[Item]) -> List[Item]:
+    """One fixpoint of the peephole rules over a text-item list."""
+    current = list(items)
+    while True:
+        out: List[Item] = []
+        changed = False
+        for i, item in enumerate(current):
+            if isinstance(item, Instruction):
+                if _is_noop(item):
+                    changed = True
+                    continue
+                if _is_branch_to_next(current, i):
+                    changed = True
+                    continue
+            out.append(item)
+        if not changed:
+            return out
+        current = out
+
+
+def peephole_module(asm: AsmModule) -> AsmModule:
+    """Apply the peephole rules to every text item of *asm*."""
+    return AsmModule(
+        text=peephole_items(asm.text),
+        data=list(asm.data),
+        globals=set(asm.globals),
+    )

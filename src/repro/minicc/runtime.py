@@ -18,6 +18,10 @@ int __div(int a, int b) {
     int neg = 0;
     if (a < 0) { a = -a; neg = 1 - neg; }
     if (b < 0) { b = -b; neg = 1 - neg; }
+    // -INT_MIN overflows back to INT_MIN; saturate so the bit loops
+    // below always see non-negative operands and terminate
+    if (a < 0) { a = 2147483647; }
+    if (b < 0) { b = 2147483647; }
     if (b == 0) { return 0; }
     int q = 0;
     int cur = b;
@@ -42,6 +46,11 @@ int __mod(int a, int b) {
     int neg = 0;
     if (a < 0) { a = -a; neg = 1; }
     if (b < 0) { b = -b; }
+    // -INT_MIN overflows back to INT_MIN, leaving cur >= b true for
+    // every cur — an infinite loop (found by the variance fuzzer);
+    // saturate to INT_MAX so the halving loop always terminates
+    if (a < 0) { a = 2147483647; }
+    if (b < 0) { b = 2147483647; }
     if (b == 0) { return 0; }
     int cur = b;
     while (cur + cur <= a && cur + cur > 0) {

@@ -70,22 +70,27 @@ def _heights(n: int, edges, instructions) -> List[int]:
 WINDOW = 16
 
 
-def schedule_block(instructions: List[Instruction]) -> List[Instruction]:
+def schedule_block(instructions: List[Instruction],
+                   window: int = WINDOW) -> List[Instruction]:
     """Reorder one block's instructions (dependence-preserving).
 
     Ready instructions issue by (class rank, deepest critical path
     first, original order); long load/multiply chains are started early,
     overlapping them with independent computation.  Blocks longer than
-    the lookahead window are scheduled window by window — keeping every
-    cross-window pair in program order trivially preserves all
-    dependences between windows.
+    the lookahead *window* are scheduled window by window — keeping
+    every cross-window pair in program order trivially preserves all
+    dependences between windows.  The window size is a compilation-
+    variance knob: different lookaheads produce different (equally
+    valid) interleavings of the same data-flow graph.
     """
+    if window < 3:
+        return list(instructions)
     if len(instructions) < 3:
         return list(instructions)
-    if len(instructions) > WINDOW:
+    if len(instructions) > window:
         out: List[Instruction] = []
-        for start in range(0, len(instructions), WINDOW):
-            out.extend(_schedule_window(instructions[start:start + WINDOW]))
+        for start in range(0, len(instructions), window):
+            out.extend(_schedule_window(instructions[start:start + window]))
         return out
     return _schedule_window(list(instructions))
 
@@ -104,7 +109,7 @@ def _schedule_window(instructions: List[Instruction]) -> List[Instruction]:
     return [instructions[i] for i in order]
 
 
-def schedule_module(asm: AsmModule) -> AsmModule:
+def schedule_module(asm: AsmModule, window: int = WINDOW) -> AsmModule:
     """Schedule every basic block of an assembly module.
 
     Blocks are delimited by labels and control transfers, matching the
@@ -115,7 +120,7 @@ def schedule_module(asm: AsmModule) -> AsmModule:
 
     def flush() -> None:
         if pending:
-            out.text.extend(schedule_block(pending))
+            out.text.extend(schedule_block(pending, window=window))
             pending.clear()
 
     for item in asm.text:

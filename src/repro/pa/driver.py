@@ -43,6 +43,7 @@ from repro.pa.fragments import (
 from repro.pa.legality import (
     ExtractionMethod,
     legal_embeddings,
+    sp_fragile_functions,
 )
 from repro.pa.liveness import lr_live_out_blocks
 from repro.verify.validate import (
@@ -200,6 +201,9 @@ def collect_candidates(module: Module, config: PAConfig,
     # lr can be live across blocks (leaf returns, shared cross-jump
     # tails); a bl may only be inserted where lr is dead-out.
     lr_live = lr_live_out_blocks(module)
+    # frameless outlined procedures address the caller's frame through
+    # sp; fragments calling one must not gain a sp-shifting bracket.
+    fragile = sp_fragile_functions(module)
     best: List[Optional[Candidate]] = [None]
     collected: List[Candidate] = []
     for candidate in warm or ():
@@ -246,7 +250,7 @@ def collect_candidates(module: Module, config: PAConfig,
             # each; a deterministic prefix keeps scoring bounded (a
             # sound benefit undercount)
             frag.embeddings = frag.embeddings[:1000]
-        method, legal = legal_embeddings(dfgs, frag)
+        method, legal = legal_embeddings(dfgs, frag, fragile)
         if method is None or len(legal) < 2:
             _TELEMETRY.count("pa.candidates.skipped_illegal")
             if ledger_on:

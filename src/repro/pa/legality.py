@@ -27,9 +27,10 @@ outlined:
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, LabelRef, Reg
 from repro.isa.registers import LR, PC, SP
 
 from repro.dfg.graph import DFG
@@ -64,10 +65,94 @@ def _reads_pc(insn: Instruction) -> bool:
     return PC in insn.regs_read()
 
 
-def classify_fragment(insns: Sequence[Instruction]) -> Optional[ExtractionMethod]:
+def _call_target(insn: Instruction) -> Optional[str]:
+    if insn.is_call and insn.operands and isinstance(insn.operands[0], LabelRef):
+        return insn.operands[0].name
+    return None
+
+
+def _static_sp_delta(insn: Instruction) -> Optional[int]:
+    """Bytes this instruction statically moves ``sp`` by, None if unknown."""
+    m, ops = insn.mnemonic, insn.operands
+    if m == "push":
+        return -4 * len(ops[0].regs)
+    if m == "pop":
+        return 4 * len(ops[0].regs)
+    if (
+        m in ("add", "sub")
+        and len(ops) == 3
+        and ops[0] == Reg(SP)
+        and ops[1] == Reg(SP)
+        and isinstance(ops[2], Imm)
+    ):
+        return ops[2].value if m == "add" else -ops[2].value
+    return None
+
+
+def sp_fragile_functions(module) -> FrozenSet[str]:
+    """Names of functions whose correctness depends on the caller's ``sp``.
+
+    The ``bl`` exemption in :func:`_classify_call` models callees as
+    seeing a balanced stack: they neither net-move ``sp`` nor address
+    the caller's frame through it.  Ordinary functions satisfy this
+    (their prologue/epilogue frames are self-relative and cancel), but
+    a *frameless* outlined procedure's body is an arbitrary mined
+    fragment: it may read ``sp`` without ever allocating (its slots are
+    the caller's frame at the entry-``sp`` position) or carry a
+    net-nonzero ``sp`` adjustment.  Either way it is only sound when
+    called with ``sp`` exactly where the original inline code saw it,
+    so a later extraction round must never wrap one of its call sites
+    in a ``push {lr}`` / ``pop {pc}`` bracket.
+
+    A function is flagged when any ``sp`` write is not statically
+    accountable, when the static deltas do not sum to zero, or when it
+    reads ``sp`` without opening with a ``push`` prologue (a function
+    that allocates before addressing only ever reaches its own frame;
+    one that reads first is reaching into the caller's).  The delta sum
+    ignores control flow, which is exact for the single-epilogue
+    functions this pipeline produces and at worst over-flags a
+    multi-epilogue hand-written one (costing an extraction, never
+    soundness).
+    """
+    fragile = set()
+    for func in module.functions:
+        reads_sp = unknown = False
+        first_touch = None
+        net = 0
+        for block in func.blocks:
+            for insn in block.instructions:
+                if insn.is_call:
+                    continue  # conservative callee model, not a real use
+                writes = SP in insn.regs_written()
+                reads = SP in insn.regs_read() and insn.mnemonic not in (
+                    "push", "pop"
+                )
+                if (writes or reads) and first_touch is None:
+                    first_touch = insn.mnemonic
+                if writes:
+                    delta = _static_sp_delta(insn)
+                    if delta is None:
+                        unknown = True
+                    else:
+                        net += delta
+                if reads:
+                    reads_sp = True
+        if unknown or net != 0 or (reads_sp and first_touch != "push"):
+            fragile.add(func.name)
+    return frozenset(fragile)
+
+
+def classify_fragment(
+    insns: Sequence[Instruction],
+    fragile_callees: FrozenSet[str] = frozenset(),
+) -> Optional[ExtractionMethod]:
     """Decide the extraction mechanism from the instruction texts alone.
 
     Returns None when the fragment can never be outlined.
+    *fragile_callees* names functions that address their caller's frame
+    (see :func:`sp_fragile_functions`); a fragment calling one of them
+    cannot be call-outlined, since the bracket would shift ``sp`` under
+    the fragile callee.
     """
     if not insns:
         return None
@@ -75,10 +160,13 @@ def classify_fragment(insns: Sequence[Instruction]) -> Optional[ExtractionMethod
                    (i.is_branch and not i.is_call)]
     if terminators:
         return _classify_crossjump(insns, terminators)
-    return _classify_call(insns)
+    return _classify_call(insns, fragile_callees)
 
 
-def _classify_call(insns: Sequence[Instruction]) -> Optional[ExtractionMethod]:
+def _classify_call(
+    insns: Sequence[Instruction],
+    fragile_callees: FrozenSet[str] = frozenset(),
+) -> Optional[ExtractionMethod]:
     contains_call = any(i.is_call for i in insns)
     for insn in insns:
         if _touches_lr(insn) or _reads_pc(insn) or insn.writes_pc:
@@ -89,6 +177,15 @@ def _classify_call(insns: Sequence[Instruction]) -> Optional[ExtractionMethod]:
             # sp-relative loads and stores — would address the wrong
             # slot.  (bl itself is exempt: its conservative "reads sp"
             # models the callee, which sees a balanced stack.)
+            return None
+        if contains_call and _call_target(insn) in fragile_callees:
+            # The bracket's one-word sp shift is also visible to any
+            # *callee* that addresses the caller's frame — a frameless
+            # outlined procedure's sp-relative slots would land on the
+            # bracket-saved lr.  Found by the fuzzed corpus: a round-1
+            # frameless pa body (`str r0, [sp]` … `mov pc, lr`) was
+            # later swallowed by a bracketed round-2 extraction, so its
+            # store clobbered the saved return address.
             return None
     return ExtractionMethod.CALL
 
@@ -154,7 +251,8 @@ def embedding_legal(
 
 
 def legal_embeddings(
-    dfgs: Sequence[DFG], fragment: Fragment
+    dfgs: Sequence[DFG], fragment: Fragment,
+    fragile_callees: FrozenSet[str] = frozenset(),
 ) -> tuple:
     """Filter a fragment's embeddings by legality.
 
@@ -165,7 +263,7 @@ def legal_embeddings(
     if sample is None:
         return None, []
     insns = _fragment_insns(dfgs, fragment, sample)
-    method = classify_fragment(insns)
+    method = classify_fragment(insns, fragile_callees)
     if method is None:
         if _LEDGER.enabled:
             _LEDGER.emit(

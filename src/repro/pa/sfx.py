@@ -28,7 +28,11 @@ from repro.isa.registers import LR, PC
 from repro.binary.program import BasicBlock, Function, Module
 from repro.pa.driver import ExtractionRecord, PAResult
 from repro.pa.fragments import call_benefit, call_overhead, crossjump_benefit
-from repro.pa.legality import ExtractionMethod, classify_fragment
+from repro.pa.legality import (
+    ExtractionMethod,
+    classify_fragment,
+    sp_fragile_functions,
+)
 from repro.pa.liveness import lr_live_out_blocks
 
 
@@ -83,6 +87,7 @@ def _lr_read_positions(block: BasicBlock) -> List[int]:
 def _collect_candidates(module: Module, config: SFXConfig):
     """Index all repeated n-grams and score them."""
     lr_live = lr_live_out_blocks(module)
+    fragile = sp_fragile_functions(module)
     grams: Dict[Tuple[str, ...], List[Tuple[_Run, BasicBlock]]] = {}
     for func_name, bi, block in _eligible_blocks(module):
         texts = [str(insn) for insn in block.instructions]
@@ -104,7 +109,7 @@ def _collect_candidates(module: Module, config: SFXConfig):
         insns = tuple(
             sample_block.instructions[sample_start:sample_start + length]
         )
-        method = classify_fragment(insns)
+        method = classify_fragment(insns, fragile)
         if method is None:
             continue
         runs = _filter_runs(insns, method, occurrences, length, lr_live)

@@ -20,6 +20,9 @@ exit  code              meaning
 3     REPRO-CKPT        checkpoint file missing, corrupt, or from an
                         incompatible schema
 4     REPRO-FAULT       an armed fault-injection point fired
+5     REPRO-IMAGE       input image malformed (undecodable, truncated,
+                        dangling references) — the loader rejected it
+5     REPRO-COMPILE     mini-C source rejected by the compiler
 70    REPRO-INTERNAL    unclassified internal error
 130   REPRO-INTERRUPT   interrupted before any round could complete
 ===== ================= ==============================================
@@ -34,6 +37,7 @@ EXIT_BEHAVIOUR = 1
 EXIT_VERIFY = 2
 EXIT_CHECKPOINT = 3
 EXIT_FAULT = 4
+EXIT_INPUT = 5
 EXIT_INTERNAL = 70
 EXIT_INTERRUPT = 130
 
@@ -67,6 +71,10 @@ ERROR_CODES: Dict[str, tuple] = {
     "REPRO-CKPT": (EXIT_CHECKPOINT, "checkpoint missing/corrupt/"
                                     "incompatible"),
     "REPRO-FAULT": (EXIT_FAULT, "armed fault-injection point fired"),
+    "REPRO-IMAGE": (EXIT_INPUT, "input image malformed; the loader "
+                                "rejected it"),
+    "REPRO-COMPILE": (EXIT_INPUT, "mini-C source rejected by the "
+                                  "compiler"),
     "REPRO-INTERNAL": (EXIT_INTERNAL, "unclassified internal error"),
     "REPRO-INTERRUPT": (EXIT_INTERRUPT, "interrupted before any round "
                                         "completed"),

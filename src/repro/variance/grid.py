@@ -1,0 +1,84 @@
+"""The variant build matrix: perturbed compiler configurations.
+
+One *variant* is a named :class:`repro.minicc.driver.CompileConfig` —
+one way a real toolchain could plausibly have compiled the same source:
+scheduler on/off and window width, late peephole cleanup, shuffled
+function layout, permuted register assignment.  The grid is the
+cross-compiler study in miniature: PA runs on every variant, and the
+harness (:mod:`repro.variance.harness`) measures how stable savings and
+mined fragments are across them.
+
+The grid is deterministic: variant 0 is always the pristine baseline
+build, variants 1..k are the canonical single-axis perturbations (one
+knob moved at a time, so a regression names its culprit axis), and any
+further variants are seeded multi-axis combinations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.minicc.driver import CompileConfig
+
+#: The perturbation axes, for documentation and the JSON report.
+VARIANT_AXES = (
+    "schedule", "schedule_window", "peephole", "layout_seed",
+    "regalloc_seed",
+)
+
+#: Canonical single-axis perturbations, in gate order.
+_SINGLE_AXIS = (
+    ("noschedule", CompileConfig(schedule=False)),
+    ("window8", CompileConfig(schedule_window=8)),
+    ("peephole", CompileConfig(peephole=True)),
+    ("layout1", CompileConfig(layout_seed=1)),
+    ("regalloc1", CompileConfig(regalloc_seed=1)),
+)
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One named cell of the build matrix."""
+
+    name: str
+    config: CompileConfig
+
+
+def variant_grid(n_variants: int, seed: int = 0) -> List[Variant]:
+    """The first *n_variants* cells of the deterministic build matrix.
+
+    Always starts with the baseline build; the same ``(n, seed)``
+    always yields the same grid, so CI failures replay locally.
+    """
+    if n_variants < 1:
+        raise ValueError("need at least one variant (the baseline)")
+    grid = [Variant("baseline", CompileConfig())]
+    for name, config in _SINGLE_AXIS:
+        if len(grid) >= n_variants:
+            return grid
+        grid.append(Variant(name, config))
+    rng = random.Random(f"grid:{seed}")
+    while len(grid) < n_variants:
+        config = CompileConfig(
+            schedule=rng.random() < 0.8,
+            schedule_window=rng.choice((4, 8, 12, 16)),
+            peephole=rng.random() < 0.5,
+            layout_seed=rng.choice((None, rng.randint(1, 1000))),
+            regalloc_seed=rng.choice((None, rng.randint(1, 1000))),
+        )
+        parts = []
+        if not config.schedule:
+            parts.append("nosched")
+        elif config.schedule_window != 16:
+            parts.append(f"w{config.schedule_window}")
+        if config.peephole:
+            parts.append("peep")
+        if config.layout_seed is not None:
+            parts.append(f"lay{config.layout_seed}")
+        if config.regalloc_seed is not None:
+            parts.append(f"reg{config.regalloc_seed}")
+        name = "+".join(parts) or "baseline2"
+        grid.append(Variant(f"mix{len(grid)}-{name}", config))
+    return grid

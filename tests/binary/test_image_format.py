@@ -1,0 +1,86 @@
+"""The ``.img`` container: serialization, parsing, typed failures."""
+
+import pytest
+
+from repro.binary.image import (
+    IMG_MAGIC,
+    IMG_VERSION,
+    Image,
+    ImageFormatError,
+)
+from repro.resilience.errors import EXIT_INPUT, ReproError
+
+
+def sample_image() -> Image:
+    return Image(
+        text=[0xE3A00001, 0xEF000000],
+        data=[1, 2, 0xDEADBEEF],
+        entry=0x8000,
+        symbols={"_start": 0x8000},
+    )
+
+
+def test_round_trip_preserves_sections_and_entry():
+    image = sample_image()
+    clone = Image.from_bytes(image.to_bytes())
+    assert clone.text == image.text
+    assert clone.data == image.data
+    assert clone.text_base == image.text_base
+    assert clone.data_base == image.data_base
+    assert clone.entry == image.entry
+
+
+def test_symbols_are_dropped_on_serialization():
+    # the on-disk format models stripped firmware: naming only ever
+    # lives in memory
+    clone = Image.from_bytes(sample_image().to_bytes())
+    assert clone.symbols == {}
+
+
+def test_header_magic_and_version():
+    blob = sample_image().to_bytes()
+    assert blob[:4] == IMG_MAGIC
+    assert int.from_bytes(blob[4:6], "little") == IMG_VERSION
+
+
+def test_bad_magic_rejected():
+    blob = b"NOPE" + sample_image().to_bytes()[4:]
+    with pytest.raises(ImageFormatError, match="magic"):
+        Image.from_bytes(blob)
+
+
+def test_unsupported_version_rejected():
+    blob = bytearray(sample_image().to_bytes())
+    blob[4] = 99
+    with pytest.raises(ImageFormatError, match="version"):
+        Image.from_bytes(bytes(blob))
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(ImageFormatError, match="truncated"):
+        Image.from_bytes(b"RIMG\x01\x00")
+
+
+def test_body_length_mismatch_rejected():
+    blob = sample_image().to_bytes()
+    with pytest.raises(ImageFormatError, match="body"):
+        Image.from_bytes(blob[:-4])
+    with pytest.raises(ImageFormatError, match="body"):
+        Image.from_bytes(blob + b"\x00\x00\x00\x00")
+
+
+def test_overlapping_sections_rejected_as_format_error():
+    # a header whose bases overlap must surface as the typed format
+    # error, not the dataclass's bare ValueError
+    blob = bytearray(sample_image().to_bytes())
+    # rewrite data_base (offset 12..16) to overlap the text section
+    blob[12:16] = (0x8000).to_bytes(4, "little")
+    with pytest.raises(ImageFormatError, match="overlaps"):
+        Image.from_bytes(bytes(blob))
+
+
+def test_format_error_is_a_typed_repro_error():
+    assert issubclass(ImageFormatError, ReproError)
+    assert issubclass(ImageFormatError, ValueError)
+    assert ImageFormatError.code == "REPRO-IMAGE"
+    assert ImageFormatError.exit_code == EXIT_INPUT

@@ -1,0 +1,59 @@
+"""The loader's typed rejection of malformed images."""
+
+import pytest
+
+from repro.binary.image import Image
+from repro.binary.loader import LoaderError, load_image
+from repro.isa.decoder import DecodingError
+from repro.isa.encoder import encode
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, LabelRef, Mem, Reg
+from repro.isa.registers import PC
+from repro.resilience.errors import EXIT_INPUT, ReproError
+
+
+def test_loader_error_is_typed():
+    assert issubclass(LoaderError, ReproError)
+    assert issubclass(LoaderError, ValueError)  # legacy catch sites
+    assert LoaderError.code == "REPRO-IMAGE"
+    assert LoaderError.exit_code == EXIT_INPUT
+
+
+def test_decoding_error_is_typed():
+    assert issubclass(DecodingError, ReproError)
+    assert issubclass(DecodingError, ValueError)
+    assert DecodingError.code == "REPRO-IMAGE"
+
+
+def test_pc_relative_load_outside_text_rejected():
+    # ldr r0, [pc, #4088] points far past this two-word image
+    word = encode(Instruction("ldr", (Reg(0), Mem(PC, 4088))))
+    exit_ = encode(Instruction("swi", (Imm(0),)))
+    image = Image(text=[word, exit_])
+    with pytest.raises(LoaderError, match="outside the text section"):
+        load_image(image)
+
+
+def test_unaligned_pc_relative_load_rejected():
+    word = encode(Instruction("ldr", (Reg(0), Mem(PC, 2))))
+    pool = 0x12345678
+    image = Image(text=[word, encode(Instruction("swi", (Imm(0),))), pool])
+    with pytest.raises(LoaderError, match="unaligned|outside"):
+        load_image(image)
+
+
+def test_branch_outside_text_rejected():
+    b = encode(Instruction("b", (LabelRef("loc_00010000"),)),
+               branch_offset_words=(0x10000 - 0x8008) // 4)
+    image = Image(text=[b, encode(Instruction("swi", (Imm(0),)))])
+    with pytest.raises(LoaderError, match="outside the text section"):
+        load_image(image)
+
+
+def test_unreferenced_undecodable_word_rejected():
+    # garbage that is not the target of any pc-relative load cannot be
+    # reclassified as interwoven data
+    garbage = 0xE7FFFFFF  # undefined-instruction space
+    image = Image(text=[garbage, encode(Instruction("swi", (Imm(0),)))])
+    with pytest.raises(LoaderError, match="not referenced as data"):
+        load_image(image)

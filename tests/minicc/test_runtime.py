@@ -116,3 +116,51 @@ def test_puts_w_returns_length():
     result = run_image(compile_to_image(source))
     assert result.output_text == "hello"
     assert result.exit_code == 5
+
+
+# ----------------------------------------------------------------------
+# INT_MIN operands (variance-fuzzer regression)
+# ----------------------------------------------------------------------
+# ``-a`` overflows back to INT_MIN when a == INT_MIN, which used to
+# leave __mod's halving loop with a negative bound (``cur >= b`` never
+# false): an infinite loop, found by the variance fuzzer (seed 24).
+# The runtime now saturates a post-negation INT_MIN operand to INT_MAX;
+# these tests pin both the termination and the documented saturation
+# semantics.
+
+INT_MIN_EXPR = "(0 - 2147483647 - 1)"
+
+
+def test_mod_by_int_min_terminates():
+    # the original hang: b == INT_MIN made ``cur >= b`` always true
+    source = (f"int main() {{ print_int(5 % {INT_MIN_EXPR}); "
+              "return 0; }")
+    result = run_image(compile_to_image(source), max_steps=1_000_000)
+    assert result.output_text == "5"   # matches C: 5 % INT_MIN == 5
+    assert result.exit_code == 0
+
+
+def test_div_by_int_min_is_zero():
+    source = (f"int main() {{ print_int(5 / {INT_MIN_EXPR}); "
+              "return 0; }")
+    result = run_image(compile_to_image(source), max_steps=1_000_000)
+    assert result.output_text == "0"   # matches C: 5 / INT_MIN == 0
+    assert result.exit_code == 0
+
+
+def test_int_min_dividend_saturates():
+    # documented saturation semantics (not C): INT_MIN negates to
+    # INT_MAX, so INT_MIN / 3 == -(INT_MAX / 3) and likewise for %
+    source = (f"int main() {{ print_int({INT_MIN_EXPR} / 3); putc(' '); "
+              f"print_int({INT_MIN_EXPR} % 3); return 0; }}")
+    result = run_image(compile_to_image(source), max_steps=2_000_000)
+    assert result.output_text == "-715827882 -1"
+    assert result.exit_code == 0
+
+
+def test_int_min_over_int_min_is_one():
+    source = (f"int main() {{ print_int({INT_MIN_EXPR} / {INT_MIN_EXPR}); "
+              "return 0; }")
+    result = run_image(compile_to_image(source), max_steps=1_000_000)
+    assert result.output_text == "1"
+    assert result.exit_code == 0

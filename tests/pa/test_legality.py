@@ -2,13 +2,14 @@
 
 import pytest
 
-from repro.binary.program import BasicBlock
+from repro.binary.program import BasicBlock, Function, Module
 from repro.dfg.builder import build_dfg
 from repro.isa.assembler import parse_instruction
 from repro.pa.legality import (
     ExtractionMethod,
     classify_fragment,
     embedding_legal,
+    sp_fragile_functions,
 )
 
 
@@ -66,6 +67,79 @@ class TestClassifyCall:
         assert classify_fragment(
             insns("cmp r0, #0", "moveq r1, #1")
         ) is ExtractionMethod.CALL
+
+    def test_call_to_fragile_callee_rejected(self):
+        # the bracket's sp shift is visible to a frameless callee that
+        # addresses the caller's frame (found by the fuzzed corpus:
+        # a round-1 frameless pa body was swallowed by a bracketed
+        # round-2 extraction, clobbering the saved return address)
+        frag = insns("mov r1, r2", "bl pa_1")
+        assert classify_fragment(frag) is ExtractionMethod.CALL
+        assert classify_fragment(frag, frozenset({"pa_1"})) is None
+        assert classify_fragment(
+            frag, frozenset({"other"})
+        ) is ExtractionMethod.CALL
+
+    def test_fragile_callee_without_other_calls_rejected(self):
+        assert classify_fragment(
+            insns("bl pa_1",), frozenset({"pa_1"})
+        ) is None
+
+
+def function_of(name, *texts):
+    return Function(name=name, blocks=[BasicBlock(instructions=insns(*texts))])
+
+
+class TestSpFragileFunctions:
+    def test_frameless_sp_reader_is_fragile(self):
+        # the exact shape the fuzzer's counterexample outlined in round 1
+        module = Module(functions=[function_of(
+            "pa_1", "mov r9, r0", "mov r0, #0", "str r0, [sp]",
+            "str r0, [sp, #4]", "mov pc, lr",
+        )])
+        assert sp_fragile_functions(module) == frozenset({"pa_1"})
+
+    def test_framed_function_is_safe(self):
+        module = Module(functions=[function_of(
+            "f", "push {r4, lr}", "sub sp, sp, #8", "str r0, [sp]",
+            "ldr r1, [sp, #4]", "add sp, sp, #8", "pop {r4, pc}",
+        )])
+        assert sp_fragile_functions(module) == frozenset()
+
+    def test_bracketed_outlined_function_is_safe(self):
+        module = Module(functions=[function_of(
+            "pa_2", "push {lr}", "mov r0, #1", "bl helper", "pop {pc}",
+        )])
+        assert sp_fragile_functions(module) == frozenset()
+
+    def test_sp_untouched_function_is_safe(self):
+        module = Module(functions=[function_of(
+            "leaf", "add r0, r0, #1", "mov pc, lr",
+        )])
+        assert sp_fragile_functions(module) == frozenset()
+
+    def test_net_sp_shift_is_fragile(self):
+        # a frameless body carrying a net allocation would desync a
+        # later bracket's pop {pc}
+        module = Module(functions=[function_of(
+            "pa_3", "sub sp, sp, #8", "mov r0, #1", "mov pc, lr",
+        )])
+        assert sp_fragile_functions(module) == frozenset({"pa_3"})
+
+    def test_balanced_read_before_alloc_is_fragile(self):
+        # balanced deltas, but the first sp touch is a read: the slot
+        # it addresses belongs to the caller
+        module = Module(functions=[function_of(
+            "pa_4", "ldr r0, [sp]", "sub sp, sp, #4",
+            "add sp, sp, #4", "mov pc, lr",
+        )])
+        assert sp_fragile_functions(module) == frozenset({"pa_4"})
+
+    def test_unaccountable_sp_write_is_fragile(self):
+        module = Module(functions=[function_of(
+            "trampoline", "mov sp, r0", "mov pc, lr",
+        )])
+        assert sp_fragile_functions(module) == frozenset({"trampoline"})
 
 
 class TestClassifyCrossjump:

@@ -1,0 +1,39 @@
+"""The variant build matrix."""
+
+import pytest
+
+from repro.minicc.driver import CompileConfig
+from repro.variance.grid import VARIANT_AXES, variant_grid
+
+
+def test_variant_zero_is_the_baseline():
+    grid = variant_grid(1)
+    assert grid[0].name == "baseline"
+    assert grid[0].config == CompileConfig()
+
+
+def test_single_axis_variants_move_one_knob():
+    baseline = CompileConfig()
+    for variant in variant_grid(6)[1:]:
+        moved = [
+            axis for axis in VARIANT_AXES
+            if getattr(variant.config, axis) != getattr(baseline, axis)
+        ]
+        assert moved, f"{variant.name} is identical to the baseline"
+        assert len(moved) == 1, (
+            f"single-axis variant {variant.name} moved {moved}"
+        )
+
+
+def test_grid_is_deterministic():
+    assert variant_grid(12, seed=7) == variant_grid(12, seed=7)
+
+
+def test_names_are_unique():
+    grid = variant_grid(16, seed=3)
+    assert len({v.name for v in grid}) == len(grid)
+
+
+def test_grid_rejects_empty():
+    with pytest.raises(ValueError):
+        variant_grid(0)

@@ -1,0 +1,98 @@
+"""The differential variance harness and its overlap metric."""
+
+from types import SimpleNamespace
+
+from repro.variance.harness import (
+    VARIANCE_SCHEMA,
+    VarianceConfig,
+    fragment_fingerprints,
+    run_variance,
+)
+
+#: Two functions sharing an abstractable computation, cheap to sweep.
+SHARED_SOURCE = """
+int f1(int x) {
+    int a = x + 3;
+    int b = a * x;
+    int c = b - 2;
+    return c ^ a;
+}
+int f2(int x) {
+    int a = x + 3;
+    int b = a * x;
+    int c = b - 2;
+    return (c ^ a) + 100;
+}
+int main() {
+    print_int(f1(5) + f2(7));
+    print_nl(0);
+    return 0;
+}
+"""
+
+
+def _record(*instructions):
+    return SimpleNamespace(instructions=tuple(instructions))
+
+
+def test_fingerprints_are_register_and_label_canonical():
+    # the same computation under different registers and labels must
+    # collapse to one fingerprint — the metric measures *what* was
+    # mined, not how it was spelled
+    a = fragment_fingerprints([
+        _record("add r1, r2, #3", "mul r3, r1, r2", "b loop_a"),
+    ])
+    b = fragment_fingerprints([
+        _record("add r5, r6, #3", "mul r7, r5, r6", "b loop_b"),
+    ])
+    assert a == b
+    assert len(a) == 1
+
+
+def test_fingerprints_distinguish_different_computations():
+    a = fragment_fingerprints([_record("add r1, r2, #3")])
+    b = fragment_fingerprints([_record("sub r1, r2, #3")])
+    assert a != b
+
+
+def test_fingerprints_keep_immediate_structure_stable():
+    # canonicalization abstracts immediate *values*; two fragments
+    # differing only in constants share a fingerprint
+    a = fragment_fingerprints([_record("add r1, r2, #3")])
+    b = fragment_fingerprints([_record("add r4, r0, #7")])
+    assert a == b
+
+
+def test_run_variance_report_shape_and_oracle():
+    report = run_variance(
+        SHARED_SOURCE,
+        VarianceConfig(engine="sfx", n_variants=3),
+        source_name="shared",
+    )
+    assert report["schema"] == VARIANCE_SCHEMA
+    assert report["source"] == "shared"
+    assert report["n_variants"] == 3
+    assert len(report["variants"]) == 3
+    assert report["oracle_ok"] is True
+    assert report["cross_variant_behaviour_ok"] is True
+    # 3 variants -> 3 unordered pairs
+    assert len(report["overlap"]["pairs"]) == 3
+    assert 0.0 <= report["overlap"]["min_jaccard"] <= 1.0
+    assert 0.0 <= report["overlap"]["mean_jaccard"] <= 1.0
+    for row in report["variants"]:
+        assert row["saved"] >= 0
+        assert row["instructions_after"] <= row["instructions_before"]
+        assert row["oracle_ok"] is True
+    savings = report["savings"]
+    assert savings["min"] <= savings["mean"] <= savings["max"]
+    assert 0.0 <= savings["degradation"] <= 1.0
+
+
+def test_run_variance_with_graph_engine_finds_the_shared_fragment():
+    report = run_variance(
+        SHARED_SOURCE,
+        VarianceConfig(engine="edgar", n_variants=2, time_budget=20.0),
+        source_name="shared",
+    )
+    assert report["oracle_ok"] is True
+    assert all(row["saved"] > 0 for row in report["variants"])
