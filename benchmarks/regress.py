@@ -1,4 +1,4 @@
-"""Compare two ``repro.bench/1`` JSON files with tolerance bands.
+"""Compare two ``repro.bench/1``/``/2`` JSON files with tolerance bands.
 
 ::
 
@@ -15,6 +15,15 @@ only gets a *tolerance band*: more than ``--time-tolerance`` (default
 5%) slower than baseline prints a warning, escalated to a failure by
 ``--fail-on-time`` (for dedicated perf CI on stable hardware).
 
+``repro.bench/2`` adds scale-engine observability fields to every
+graph-engine cell (``workers``, ``shards``, ``cache_hits``,
+``lattice_nodes_reused``).  They describe *how* a cell was mined, not
+the result, so they are soft-compared: drift prints a warning, never a
+failure — except ``workers``, whose drift means the two files were not
+produced by the same engine configuration and the seconds band is
+meaningless, which is still only a warning but a louder one.  A /1 file
+simply has no scale fields; comparisons across versions skip them.
+
 Exit status: 0 when every pinned metric matches (warnings allowed),
 1 otherwise.
 """
@@ -26,11 +35,16 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
-SCHEMA = "repro.bench/1"
+SCHEMAS = ("repro.bench/1", "repro.bench/2")
 
 #: Metrics pinned exactly; a mismatch fails the comparison.
 RESULT_METRICS = (
     "saved", "rounds", "calls", "crossjumps", "instructions_after",
+)
+
+#: /2 observability fields: soft-compared (warn on drift, never fail).
+SCALE_METRICS = (
+    "workers", "shards", "cache_hits", "lattice_nodes_reused",
 )
 
 
@@ -38,8 +52,8 @@ def _load(path: str) -> Dict[str, Any]:
     with open(path) as handle:
         doc = json.load(handle)
     schema = doc.get("schema")
-    if schema != SCHEMA:
-        sys.exit(f"error: {path}: expected schema {SCHEMA!r}, "
+    if schema not in SCHEMAS:
+        sys.exit(f"error: {path}: expected schema one of {SCHEMAS}, "
                  f"got {schema!r}")
     return doc
 
@@ -81,6 +95,19 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
                         f"{name}/{engine}: {metric} changed "
                         f"{base_value} -> {cur_value}"
                     )
+            for metric in SCALE_METRICS:
+                base_value = base_cell.get(metric)
+                cur_value = cur_cell.get(metric)
+                if base_value is None or cur_value is None:
+                    continue       # /1 file on one side: nothing to drift
+                if cur_value != base_value:
+                    warnings.append(
+                        f"{name}/{engine}: {metric} drifted "
+                        f"{base_value} -> {cur_value}"
+                        + (" (different engine configuration; the "
+                           "seconds band is not comparable)"
+                           if metric == "workers" else "")
+                    )
             base_secs = base_cell.get("seconds")
             cur_secs = cur_cell.get("seconds")
             if base_secs and cur_secs is not None:
@@ -101,8 +128,8 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="compare two repro.bench/1 files; exit 1 when a "
-                    "pinned result metric drifted",
+        description="compare two repro.bench/1 or /2 files; exit 1 "
+                    "when a pinned result metric drifted",
     )
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument("current", help="freshly produced JSON")

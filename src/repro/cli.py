@@ -33,6 +33,14 @@ report) and ``--ledger-out FILE`` (the decision ledger as JSONL, schema
 :mod:`repro.report.ledger`; ``explain`` renders the same records as
 text, either by re-running a workload or replaying ``--ledger FILE``.
 
+Scale (see ``src/repro/scale/``): ``pa``, ``table1`` and ``profile``
+accept ``--workers N`` (shard the block DFGs into independent clusters
+and mine them on N worker processes; ``N=1`` runs the same sharded
+engine in-process) and ``--fragment-cache DIR`` (persist the
+content-addressed shard cache across runs; implies ``--workers 1``).
+The sharded engine's output is bit-identical for every worker count and
+every cache state — only wall-clock changes.
+
 Resilience (see ``src/repro/resilience/``): ``pa --checkpoint FILE``
 rewrites a crash-safe resume file after every committed round and
 ``pa --resume FILE`` continues from it, bit-identically to the
@@ -134,6 +142,22 @@ def _add_telemetry_args(parser) -> None:
     parser.add_argument(
         "--force", action="store_true",
         help="overwrite existing output files",
+    )
+
+
+def _add_scale_args(parser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="mine with the sharded scale engine on N worker processes "
+             "(1 = sharded but in-process); the result is bit-identical "
+             "for every N >= 1 and every cache state.  Default 0 keeps "
+             "the legacy serial engine",
+    )
+    parser.add_argument(
+        "--fragment-cache", metavar="DIR",
+        help="persist the content-addressed fragment cache under DIR so "
+             "later runs skip re-mining unchanged shards (implies the "
+             "in-memory cache the scale engine always uses)",
     )
 
 
@@ -252,6 +276,11 @@ def cmd_pa(args) -> int:
         sys.exit("error: --verify/--checkpoint/--resume need a graph "
                  "engine; the sfx baseline does not go through the "
                  "round loop they hook")
+    if args.engine == "sfx" and (args.workers or args.fragment_cache):
+        sys.exit("error: --workers/--fragment-cache need a graph "
+                 "engine; the sfx baseline does not mine shards")
+    if args.fragment_cache and not args.workers:
+        args.workers = 1     # a persistent cache implies the scale engine
     for spec in args.fault or ():
         try:
             faultinject.arm(spec)
@@ -276,6 +305,18 @@ def cmd_pa(args) -> int:
         module = module_from_checkpoint(resume)
         config = config_from_dict(resume.config)
         config.checkpoint_path = args.checkpoint
+        # Worker count and cache directory are machine-local execution
+        # knobs — the scale engine's output is worker-count- and
+        # cache-state-independent, so overriding them cannot change the
+        # resumed result.  Switching engines (serial <-> scale) would.
+        if args.workers and not config.workers:
+            sys.exit("error: the checkpointed run used the serial "
+                     "engine; --workers on resume would change its "
+                     "decisions (re-run from scratch instead)")
+        if args.workers:
+            config.workers = args.workers
+        if args.fragment_cache:
+            config.fragment_cache = args.fragment_cache
         print(f"resumed from round {resume.round} ({args.resume})",
               file=sys.stderr)
     else:
@@ -287,6 +328,8 @@ def cmd_pa(args) -> int:
             verify=args.verify,
             verify_max_retries=args.verify_max_retries,
             checkpoint_path=args.checkpoint,
+            workers=args.workers,
+            fragment_cache=args.fragment_cache,
         )
     reference = run_image(layout(module), max_steps=args.max_steps)
     before = module.num_instructions
@@ -318,6 +361,12 @@ def cmd_pa(args) -> int:
     print(f"{args.engine}: {before} -> {module.num_instructions} "
           f"instructions (saved {result.saved}) in {result.rounds} rounds "
           f"[{status}]")
+    if getattr(result, "workers", 0):
+        print(f"scale: workers={result.workers} shards={result.shards} "
+              f"cache {result.cache_hits} hits / "
+              f"{result.cache_misses} misses, "
+              f"{result.lattice_nodes_reused} lattice nodes reused",
+              file=sys.stderr)
     if getattr(result, "degraded", False):
         # Anytime semantics: degraded is still exit 0 — the module is
         # the valid best-so-far result, and the causes are on record.
@@ -358,6 +407,8 @@ def cmd_lint(args) -> int:
 
 
 def cmd_table1(args) -> int:
+    if args.fragment_cache and not args.workers:
+        args.workers = 1     # a persistent cache implies the scale engine
     traced = _telemetry_begin(args)
     rows = []
     for name in args.programs or sorted(PROGRAMS):
@@ -372,7 +423,9 @@ def cmd_table1(args) -> int:
                     result = run_sfx(module)
                 else:
                     result = run_pa(module, PAConfig(
-                        miner=engine, time_budget=args.time_budget))
+                        miner=engine, time_budget=args.time_budget,
+                        workers=args.workers,
+                        fragment_cache=args.fragment_cache))
             verify_workload(name, module)
             saved[engine] = base - module.num_instructions
             elapsed = time.perf_counter() - started
@@ -387,6 +440,11 @@ def cmd_table1(args) -> int:
                 deadline_hits=getattr(result, "deadline_hits", 0),
                 mis_budget_exhausted=getattr(
                     result, "mis_budget_exhausted", 0),
+                workers=getattr(result, "workers", 0),
+                shards=getattr(result, "shards", 0),
+                cache_hits=getattr(result, "cache_hits", 0),
+                lattice_nodes_reused=getattr(
+                    result, "lattice_nodes_reused", 0),
             )
             print(f"  {name}/{engine}: saved {saved[engine]} "
                   f"({elapsed:.1f}s)",
@@ -404,6 +462,8 @@ def cmd_profile(args) -> int:
     if args.verify and args.engine == "sfx":
         sys.exit("error: --verify needs a graph engine; the sfx baseline "
                  "does not go through the round loop the validator hooks")
+    if args.fragment_cache and not args.workers:
+        args.workers = 1     # a persistent cache implies the scale engine
     _telemetry_begin(args, force=True)
     module = _load_source(args.source, args.assembly)
     before = module.num_instructions
@@ -415,6 +475,8 @@ def cmd_profile(args) -> int:
             max_nodes=args.max_nodes,
             time_budget=args.time_budget,
             verify=args.verify,
+            workers=args.workers,
+            fragment_cache=args.fragment_cache,
         ))
     registry = telemetry.get()
     print(f"{args.source}/{args.engine}: {before} -> "
@@ -642,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", metavar="FILE",
                    help="continue a checkpointed run; bit-identical to "
                         "the uninterrupted one")
+    _add_scale_args(p)
     p.add_argument("--fault", action="append", metavar="SPEC",
                    help="arm a deterministic fault point, "
                         "point[:mode[:at]] (repeatable; modes: raise, "
@@ -691,6 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-budget", type=float, default=180.0)
     p.add_argument("--json", metavar="FILE",
                    help="write rows + telemetry as stats JSON")
+    _add_scale_args(p)
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_table1)
 
@@ -707,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="translation-validate every round, so the tree "
                         "shows verification cost alongside mining")
+    _add_scale_args(p)
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_profile)
 

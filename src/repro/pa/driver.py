@@ -102,6 +102,19 @@ class PAConfig:
     #: completed round (schema ``repro.resilience.ckpt/1``); resuming
     #: from it reproduces the uninterrupted run bit-identically.
     checkpoint_path: Optional[str] = None
+    #: 0 = the legacy serial engine (exactly the historical pipeline).
+    #: N >= 1 selects the *scale* engine (:mod:`repro.scale`): the DFG
+    #: database is pre-clustered into independent shards, mined with
+    #: shard-local benefit floors (N worker processes; 1 = in-process)
+    #: and merged deterministically — the result is bit-identical for
+    #: every worker count and cache state.  Carryover warm-starting is
+    #: disabled in scale mode: the fragment cache subsumes it (an
+    #: untouched shard is a cache hit), and warm floors would make
+    #: shard results depend on history, poisoning content-addressing.
+    workers: int = 0
+    #: Directory for the persistent fragment cache (scale engine only);
+    #: None keeps the cache in-memory for the run.
+    fragment_cache: Optional[str] = None
 
 
 @dataclass
@@ -143,6 +156,16 @@ class PAResult:
     rolled_back_rounds: int = 0
     #: Round index this run resumed from, if it was resumed.
     resumed_from_round: Optional[int] = None
+    #: Scale engine (``config.workers >= 1``) census; all zero under
+    #: the legacy serial engine.
+    workers: int = 0
+    shards: int = 0                   #: largest per-round shard count
+    #: shards torn down before completing (governor stop mid-round)
+    shards_lost: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: lattice nodes served from the fragment cache instead of re-mined
+    lattice_nodes_reused: int = 0
 
     @property
     def saved(self) -> int:
@@ -576,6 +599,7 @@ def run_pa(module: Module, config: Optional[PAConfig] = None,
             "flow_pass": config.flow_pass,
             "batch": config.batch,
             "time_budget": config.time_budget,
+            "workers": config.workers,
         }
         extra = {}
         if resume is not None:
@@ -642,6 +666,16 @@ def _run_pa(module: Module, config: PAConfig, governor: RunGovernor,
     )
     carryover: List[Candidate] = []
     blocklist: Set[str] = set()
+    scale = None
+    if config.workers:
+        # one cache + delta planner per run: the cache carries shard
+        # results across rounds (and across runs when persistent), the
+        # planner only observes — see repro.scale.pool for invariants
+        from repro.scale.cache import FragmentCache
+        from repro.scale.delta import DeltaPlanner
+
+        scale = (FragmentCache(config.fragment_cache), DeltaPlanner())
+        result.workers = max(1, config.workers)
     start_round = 0
     if resume is not None:
         start_round = resume.round + 1
@@ -652,6 +686,9 @@ def _run_pa(module: Module, config: PAConfig, governor: RunGovernor,
         result.deadline_hits = resume.deadline_hits
         result.mis_budget_exhausted = resume.mis_budget_exhausted
         result.verify_retries = resume.verify_retries
+        result.cache_hits = resume.cache_hits
+        result.cache_misses = resume.cache_misses
+        result.lattice_nodes_reused = resume.lattice_nodes_reused
         result.records = [
             ExtractionRecord(
                 round=r["round"],
@@ -665,9 +702,10 @@ def _run_pa(module: Module, config: PAConfig, governor: RunGovernor,
             for r in resume.records
         ]
         blocklist = set(resume.blocklist)
-        carryover = _ckpt.candidates_from_dicts(
-            module, config.mined_kinds, resume.carryover
-        )
+        if scale is None:
+            carryover = _ckpt.candidates_from_dicts(
+                module, config.mined_kinds, resume.carryover
+            )
     for round_index in range(start_round, config.max_rounds):
         if governor.should_stop():
             governor.note(
@@ -678,7 +716,7 @@ def _run_pa(module: Module, config: PAConfig, governor: RunGovernor,
         try:
             outcome = _run_round(
                 module, config, governor, result, round_index,
-                carryover, blocklist, state,
+                carryover, blocklist, state, scale,
             )
         except KeyboardInterrupt:
             # Anytime semantics: the interrupted round is rolled back
@@ -705,8 +743,11 @@ def _run_pa(module: Module, config: PAConfig, governor: RunGovernor,
         # valid; they warm-start the next round's benefit floor.  A
         # cross-jump splits a block in two, renumbering every later
         # block of the module enumeration, so any cross-jump round
-        # invalidates the carried indices wholesale.
-        if touched_functions:
+        # invalidates the carried indices wholesale.  (The scale
+        # engine never carries over — untouched shards are cache hits
+        # instead, which survives cross-jump renumbering too because
+        # shard identity is content, not position.)
+        if scale is not None or touched_functions:
             carryover = []
         else:
             carryover = [
@@ -726,7 +767,7 @@ def _run_pa(module: Module, config: PAConfig, governor: RunGovernor,
 def _run_round(module: Module, config: PAConfig, governor: RunGovernor,
                result: PAResult, round_index: int,
                carryover: List[Candidate], blocklist: Set[str],
-               state: _ckpt.ModuleState):
+               state: _ckpt.ModuleState, scale=None):
     """One mining + apply round, with verify-failure recovery.
 
     Returns ``None`` at fixpoint, else ``(records, candidates,
@@ -742,7 +783,7 @@ def _run_round(module: Module, config: PAConfig, governor: RunGovernor,
         try:
             return _round_once(
                 module, config, governor, result, round_index,
-                carryover, blocklist, applied,
+                carryover, blocklist, applied, scale,
             )
         except TranslationValidationError as error:
             _ckpt.restore_state(module, state)
@@ -790,8 +831,7 @@ def _verify_offenders(error: TranslationValidationError,
 def _round_once(module: Module, config: PAConfig, governor: RunGovernor,
                 result: PAResult, round_index: int,
                 carryover: List[Candidate], blocklist: Set[str],
-                applied: List[Candidate]):
-    miner = _make_miner(config)
+                applied: List[Candidate], scale=None):
     with _TELEMETRY.span("pa.round", round=round_index), \
             _LEDGER.context(round=round_index):
         if _LEDGER.enabled:
@@ -800,24 +840,64 @@ def _round_once(module: Module, config: PAConfig, governor: RunGovernor,
                 carryover=len(carryover),
             )
         mine_started = time.perf_counter()
-        with _TELEMETRY.span("pa.collect", round=round_index):
-            candidates = collect_candidates(
-                module, config, miner=miner,
-                warm=carryover, deadline=governor.deadline,
-                blocklist=blocklist,
-            )
+        if scale is not None:
+            from repro.scale.pool import run_sharded_round
+
+            cache, planner = scale
+            with _TELEMETRY.span("pa.collect", round=round_index):
+                candidates, scale_stats = run_sharded_round(
+                    module, config, governor, cache, planner
+                )
+            if blocklist:
+                # Verify-failure recovery: shard results are mined
+                # (and cached) blocklist-free — a blocklisted
+                # candidate must not shape shard-local floors or cache
+                # keys — so the filter happens here, after revival
+                # re-derived the origins a fingerprint needs.
+                candidates = [
+                    c for c in candidates
+                    if c.fingerprint() not in blocklist
+                ]
+            round_lattice_nodes = scale_stats.lattice_nodes_mined
+            result.lattice_nodes += scale_stats.lattice_nodes_mined
+            result.lattice_nodes_reused += \
+                scale_stats.lattice_nodes_reused
+            result.shards = max(result.shards, scale_stats.shards)
+            result.shards_lost += scale_stats.shards_lost
+            result.cache_hits += scale_stats.cache_hits
+            result.cache_misses += scale_stats.cache_misses
+            if scale_stats.shards_lost:
+                # A torn-down pool dropped shards: whatever this round
+                # selects is best-so-far, never silently complete.
+                governor.note(
+                    "interrupted" if governor.interrupted
+                    else "time_budget"
+                )
+            if scale_stats.deadline_hits:
+                result.deadline_hits += scale_stats.deadline_hits
+                governor.count("mine.deadline_hits",
+                               scale_stats.deadline_hits)
+        else:
+            miner = _make_miner(config)
+            with _TELEMETRY.span("pa.collect", round=round_index):
+                candidates = collect_candidates(
+                    module, config, miner=miner,
+                    warm=carryover, deadline=governor.deadline,
+                    blocklist=blocklist,
+                )
+            round_lattice_nodes = miner.visited_nodes
+            result.lattice_nodes += miner.visited_nodes
+            if miner.deadline_hit:
+                result.deadline_hits += 1
+                governor.count("mine.deadline_hits")
+            if _LEDGER.enabled:
+                _LEDGER.emit(
+                    "prune",
+                    never_convex=getattr(miner, "pruned_never_convex", 0),
+                    cyclic=getattr(miner, "pruned_cyclic", 0),
+                )
         mine_seconds = time.perf_counter() - mine_started
-        result.lattice_nodes += miner.visited_nodes
-        if miner.deadline_hit:
-            result.deadline_hits += 1
-            governor.count("mine.deadline_hits")
         _TELEMETRY.count("pa.carryover.candidates", len(carryover))
-        if _LEDGER.enabled:
-            _LEDGER.emit(
-                "prune",
-                never_convex=getattr(miner, "pruned_never_convex", 0),
-                cyclic=getattr(miner, "pruned_cyclic", 0),
-            )
         if not candidates:
             if _LEDGER.enabled:
                 _LEDGER.emit(
@@ -869,7 +949,7 @@ def _round_once(module: Module, config: PAConfig, governor: RunGovernor,
                 "pa.round",
                 round=round_index,
                 mine_seconds=mine_seconds,
-                lattice_nodes=miner.visited_nodes,
+                lattice_nodes=round_lattice_nodes,
                 candidates=len(candidates),
                 applied=len(records),
                 carryover=len(carryover),
@@ -949,6 +1029,9 @@ def _write_run_checkpoint(path: str, module: Module, config: PAConfig,
             + governor.counters.get("mis.budget_exhausted", 0)
         ),
         verify_retries=result.verify_retries,
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
+        lattice_nodes_reused=result.lattice_nodes_reused,
     )
     _ckpt.write_checkpoint(path, checkpoint)
     if _LEDGER.enabled:

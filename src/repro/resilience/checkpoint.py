@@ -35,6 +35,9 @@ records             extraction records of completed rounds
 instructions_before / rounds / lattice_nodes / deadline_hits /
 mis_budget_exhausted / verify_retries
                     PAResult continuity counters
+cache_hits / cache_misses / lattice_nodes_reused
+                    scale-engine continuity counters (additive minor;
+                    default zero when absent)
 =================== =================================================
 """
 
@@ -194,6 +197,15 @@ class Checkpoint:
     deadline_hits: int = 0
     mis_budget_exhausted: int = 0
     verify_retries: int = 0
+    #: Scale-engine continuity counters (additive minor: absent in
+    #: pre-scale checkpoints, defaulted to zero on load; older loaders
+    #: drop them as unknown fields).  The fragment cache itself is NOT
+    #: checkpointed — it is content-addressed, so a resumed run simply
+    #: re-fills it (or reads the persistent directory) and still
+    #: reproduces the uninterrupted run's module bit-identically.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    lattice_nodes_reused: int = 0
 
     def to_doc(self) -> Dict[str, Any]:
         return {"schema": CKPT_SCHEMA, **self.__dict__}

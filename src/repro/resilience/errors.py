@@ -20,6 +20,9 @@ exit  code              meaning
 3     REPRO-CKPT        checkpoint file missing, corrupt, or from an
                         incompatible schema
 4     REPRO-FAULT       an armed fault-injection point fired
+6     REPRO-CACHE       fragment-cache entry corrupt/truncated/
+                        mismatched (normally recovered internally by a
+                        rebuild; exits only when surfaced directly)
 5     REPRO-IMAGE       input image malformed (undecodable, truncated,
                         dangling references) — the loader rejected it
 5     REPRO-COMPILE     mini-C source rejected by the compiler
@@ -38,6 +41,7 @@ EXIT_VERIFY = 2
 EXIT_CHECKPOINT = 3
 EXIT_FAULT = 4
 EXIT_INPUT = 5
+EXIT_CACHE = 6
 EXIT_INTERNAL = 70
 EXIT_INTERRUPT = 130
 
@@ -63,6 +67,16 @@ class FaultInjected(ReproError):
     exit_code = EXIT_FAULT
 
 
+class CacheError(ReproError):
+    """A fragment-cache entry could not be loaded (corrupt, truncated,
+    version-mismatched).  The cache layer recovers by deleting the
+    entry and re-mining the shard; the type exists so the failure is
+    classified — and visible in counters — rather than swallowed."""
+
+    code = "REPRO-CACHE"
+    exit_code = EXIT_CACHE
+
+
 #: code -> (exit code, description) — the documented contract, used by
 #: the README/DESIGN tables and asserted by the resilience tests.
 ERROR_CODES: Dict[str, tuple] = {
@@ -73,6 +87,9 @@ ERROR_CODES: Dict[str, tuple] = {
     "REPRO-FAULT": (EXIT_FAULT, "armed fault-injection point fired"),
     "REPRO-IMAGE": (EXIT_INPUT, "input image malformed; the loader "
                                 "rejected it"),
+    "REPRO-CACHE": (EXIT_CACHE, "fragment-cache entry corrupt/"
+                                "truncated/mismatched (recovered by "
+                                "rebuild)"),
     "REPRO-COMPILE": (EXIT_INPUT, "mini-C source rejected by the "
                                   "compiler"),
     "REPRO-INTERNAL": (EXIT_INTERNAL, "unclassified internal error"),

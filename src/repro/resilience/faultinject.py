@@ -45,6 +45,12 @@ verify.counterexample
 ledger.write        decision-ledger JSONL writer
 checkpoint.write    checkpoint writer (supports ``corrupt``)
 checkpoint.load     checkpoint loader
+scale.pool          sharded engine, entry of one round's pool
+                    expansion (fires in the parent; worker children
+                    run disarmed)
+scale.cache         fragment cache, entry of one persistent-entry
+                    load (``corrupt`` simulates a garbled entry — the
+                    cache must rebuild, not crash)
 =================== =================================================
 """
 
@@ -69,6 +75,8 @@ FAULT_POINTS = frozenset({
     "ledger.write",
     "checkpoint.write",
     "checkpoint.load",
+    "scale.pool",
+    "scale.cache",
 })
 
 _MODES = ("raise", "interrupt", "deadline", "corrupt")

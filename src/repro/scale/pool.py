@@ -1,0 +1,356 @@
+"""The multiprocess worklist scheduler for sharded mining.
+
+One call to :func:`run_sharded_round` replaces the serial driver's
+``collect_candidates`` for a round: cluster the DFG database, consult
+the fragment cache per shard, mine the missing shards (in-process for
+``workers <= 1``, in a worker pool otherwise), and merge.
+
+Determinism invariants (the bit-identity gate relies on these):
+
+* **Worker count never changes the result.**  Each shard is mined by
+  the same pure function (:func:`~repro.scale.shard.mine_shard`) with a
+  shard-local benefit floor — no cross-shard state — and the merge
+  concatenates shard results in deterministic shard order before one
+  stable sort by the candidate sort key.  Scheduling order, pool size
+  and completion order are invisible.
+* **Cache state never changes the result.**  A cache key is a complete
+  content digest of the work unit (instructions, legality facts,
+  mining config, wire-format schema), so a hit returns exactly what
+  mining would produce.
+* **Instrumentation parity.**  Deep telemetry/ledger instrumentation
+  is suppressed during shard mining in *both* the in-process and the
+  worker path (children inherit the parent's registries under the
+  ``fork`` start method); the parent replays each shard's funnel
+  tallies into telemetry in shard order and emits per-shard ledger
+  records itself, so observability output is identical for any
+  ``--workers`` value and any cache temperature.
+
+Governor-aware teardown: the parent polls the active run governor
+between completions; on SIGINT/SIGTERM/deadline it terminates the pool
+(children ignore SIGINT — delivery is the parent's decision), salvages
+every shard that already completed as the round's best-so-far, and
+reports the lost shards — mirroring the serial engine's anytime
+semantics.  Worker children run with fault injection disarmed, so
+chaos specs fire deterministically in the parent (see ``scale.pool``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfg.builder import build_dfgs
+from repro.pa.fragments import Candidate
+from repro.pa.legality import sp_fragile_functions
+from repro.pa.liveness import lr_live_out_blocks
+from repro.report.ledger import GLOBAL as _LEDGER
+from repro.resilience import governor as _governor
+from repro.resilience.faultinject import disarm_all, fault
+from repro.resilience.governor import RunGovernor
+from repro.telemetry import GLOBAL as _TELEMETRY
+
+from repro.scale.cache import FragmentCache
+from repro.scale.cluster import Shard, cluster_dfgs
+from repro.scale.delta import DeltaPlanner
+from repro.scale.shard import (
+    ShardPayload,
+    ShardResult,
+    build_payload,
+    mine_shard,
+    revive_candidates,
+)
+
+#: shard tally key -> the serial funnel's telemetry counter name
+_TALLY_COUNTERS = {
+    "considered": "pa.candidates.considered",
+    "floor": "pa.candidates.skipped_floor",
+    "illegal": "pa.candidates.skipped_illegal",
+    "lr_infeasible": "pa.candidates.skipped_lr_infeasible",
+    "order_inconsistent": "pa.candidates.skipped_order",
+    "unprofitable": "pa.candidates.skipped_unprofitable",
+    "scored": "pa.candidates.scored",
+}
+
+
+@dataclass
+class ScaleStats:
+    """One round's sharding/caching census."""
+
+    workers: int = 1
+    shards: int = 0
+    shards_mined: int = 0
+    #: shards torn down before completing (governor stop mid-round)
+    shards_lost: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalid: int = 0
+    lattice_nodes_mined: int = 0
+    lattice_nodes_reused: int = 0
+    deadline_hits: int = 0
+    delta_clean: int = 0
+    delta_dirty: int = 0
+    tallies: Dict[str, int] = field(default_factory=dict)
+
+
+@contextlib.contextmanager
+def _suppressed_instrumentation():
+    """Silence deep telemetry/ledger emission around in-process shard
+    mining, so the ``workers=1`` path produces exactly the counters a
+    worker pool (whose children's registries are disabled) would."""
+    telemetry_was, ledger_was = _TELEMETRY.enabled, _LEDGER.enabled
+    _TELEMETRY.enabled = False
+    _LEDGER.enabled = False
+    try:
+        yield
+    finally:
+        _TELEMETRY.enabled = telemetry_was
+        _LEDGER.enabled = ledger_was
+
+
+def _worker_init() -> None:
+    """Runs once in every pool child before it accepts work.
+
+    SIGINT is ignored (teardown is the parent's decision — it
+    ``terminate()``s the pool, which delivers SIGTERM); inherited
+    instrumentation registries and armed fault specs are cleared so a
+    child neither double-counts nor fires parent-targeted chaos specs.
+    """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # The CLI parent runs under the governor's graceful SIGTERM handler
+    # (set a flag, finish the round); a forked child inherits it, which
+    # would turn ``pool.terminate()``'s SIGTERM into a no-op and hang
+    # ``pool.join()``.  Children must die on SIGTERM.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    disarm_all()
+    _TELEMETRY.enabled = False
+    _LEDGER.enabled = False
+
+
+def _mine_shard_job(payload: ShardPayload,
+                    budget: Optional[float]) -> ShardResult:
+    """Pool entry point: mine one shard under a child-local governor."""
+    child_governor = RunGovernor(time_budget=budget)
+    with _governor.activate(child_governor):
+        return mine_shard(payload)
+
+
+def _mine_parallel(
+    to_mine: List[Tuple[Shard, ShardPayload, str]],
+    workers: int,
+    governor: RunGovernor,
+) -> Tuple[Dict[int, ShardResult], List[int], bool]:
+    """Expand the missing shards on a worker pool.
+
+    Returns ``(completed by shard index, lost shard indices,
+    torn_down)``.  Dispatch order is largest-first (by payload size)
+    for load balance; it cannot affect results — only which shards
+    finish before a teardown.
+    """
+    order = sorted(
+        range(len(to_mine)),
+        key=lambda i: (
+            -sum(len(insns) for insns in to_mine[i][1].block_insns),
+            to_mine[i][0].index,
+        ),
+    )
+    completed: Dict[int, ShardResult] = {}
+    torn_down = False
+    pool = multiprocessing.Pool(
+        processes=min(workers, len(to_mine)), initializer=_worker_init
+    )
+    pending: Dict[int, object] = {}
+    try:
+        budget = governor.remaining()
+        for i in order:
+            shard, payload, __ = to_mine[i]
+            pending[shard.index] = pool.apply_async(
+                _mine_shard_job, (payload, budget)
+            )
+        while pending:
+            if governor.should_stop():
+                torn_down = True
+                break
+            progressed = False
+            for index in sorted(pending):
+                handle = pending[index]
+                if handle.ready():
+                    # a child exception (a real bug; chaos specs are
+                    # disarmed there) re-raises here and unwinds
+                    # through the driver's round rollback
+                    completed[index] = handle.get()
+                    del pending[index]
+                    progressed = True
+            if pending and not progressed:
+                time.sleep(0.01)
+        if not pending:
+            pool.close()
+        else:
+            torn_down = True
+            pool.terminate()
+    except BaseException:
+        torn_down = True
+        pool.terminate()
+        raise
+    finally:
+        pool.join()
+    return completed, sorted(pending), torn_down
+
+
+def run_sharded_round(
+    module,
+    config,
+    governor: RunGovernor,
+    cache: FragmentCache,
+    planner: Optional[DeltaPlanner] = None,
+) -> Tuple[List[Candidate], ScaleStats]:
+    """Mine one round sharded/parallel/cached; return merged candidates.
+
+    The returned list is sorted best-first by the same key as the
+    serial funnel and is a pure function of (module content, config) —
+    independent of ``config.workers``, cache temperature, scheduling
+    and teardown history of previous runs.
+    """
+    workers = max(1, config.workers)
+    stats = ScaleStats(workers=workers)
+    with _TELEMETRY.span("scale.round", workers=workers):
+        dfgs = build_dfgs(module, min_nodes=0,
+                          mined_kinds=config.mined_kinds)
+        if not dfgs:
+            return [], stats
+        lr_live = lr_live_out_blocks(module)
+        fragile = sp_fragile_functions(module)
+        with _TELEMETRY.span("scale.cluster"):
+            shards = cluster_dfgs(dfgs)
+        payloads = [
+            build_payload(shard, dfgs, lr_live, fragile, config)
+            for shard in shards
+        ]
+        digests = [payload.digest() for payload in payloads]
+        stats.shards = len(shards)
+        if planner is not None:
+            plan = planner.plan(digests)
+            stats.delta_clean = len(plan.clean)
+            stats.delta_dirty = len(plan.dirty)
+        invalid_before = cache.stats.invalid
+        results: Dict[int, ShardResult] = {}
+        to_mine: List[Tuple[Shard, ShardPayload, str]] = []
+        with _TELEMETRY.span("scale.cache.lookup"):
+            for shard, payload, digest in zip(shards, payloads, digests):
+                body = cache.get(digest)
+                if body is not None:
+                    result = ShardResult.from_doc(shard.index, body)
+                    results[shard.index] = result
+                    stats.lattice_nodes_reused += result.lattice_nodes
+                else:
+                    to_mine.append((shard, payload, digest))
+        stats.cache_hits = len(results)
+        stats.cache_misses = len(to_mine)
+        stats.cache_invalid = cache.stats.invalid - invalid_before
+        lost: List[int] = []
+        torn_down = False
+        if to_mine:
+            fault("scale.pool")
+            with _TELEMETRY.span("scale.mine", shards=len(to_mine)):
+                if workers <= 1:
+                    with _suppressed_instrumentation():
+                        for shard, payload, digest in to_mine:
+                            if governor.should_stop():
+                                lost.append(shard.index)
+                                torn_down = True
+                                continue
+                            results[shard.index] = mine_shard(payload)
+                else:
+                    completed, lost, torn_down = _mine_parallel(
+                        to_mine, workers, governor
+                    )
+                    results.update(completed)
+            for shard, payload, digest in to_mine:
+                result = results.get(shard.index)
+                if result is None:
+                    continue
+                stats.shards_mined += 1
+                stats.lattice_nodes_mined += result.lattice_nodes
+                if result.deadline_hit:
+                    # partial (the mine unwound at the deadline);
+                    # usable this round, but never cached
+                    stats.deadline_hits += 1
+                else:
+                    cache.put(digest, result.to_doc())
+        stats.shards_lost = len(lost)
+        # merge: shard order, then one stable best-first sort — the
+        # only ordering downstream ever sees
+        merged: List[Candidate] = []
+        tallies: Dict[str, int] = {}
+        for shard in shards:
+            result = results.get(shard.index)
+            if result is None:
+                continue
+            for key, value in result.tallies.items():
+                tallies[key] = tallies.get(key, 0) + value
+            merged.extend(
+                revive_candidates(dfgs, shard.graph_ids,
+                                  result.candidates)
+            )
+        merged.sort(key=lambda c: c.sort_key())
+        stats.tallies = tallies
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("scale.rounds")
+            _TELEMETRY.count("scale.shards", stats.shards)
+            _TELEMETRY.count("scale.shards.mined", stats.shards_mined)
+            _TELEMETRY.count("scale.shards.lost", stats.shards_lost)
+            _TELEMETRY.count("scale.cache.hits", stats.cache_hits)
+            _TELEMETRY.count("scale.cache.misses", stats.cache_misses)
+            _TELEMETRY.count("scale.cache.invalid", stats.cache_invalid)
+            _TELEMETRY.count("scale.lattice_nodes.reused",
+                             stats.lattice_nodes_reused)
+            _TELEMETRY.count("scale.lattice_nodes.mined",
+                             stats.lattice_nodes_mined)
+            for key in sorted(tallies):
+                counter = _TALLY_COUNTERS.get(key)
+                if counter and tallies[key]:
+                    _TELEMETRY.count(counter, tallies[key])
+        if _LEDGER.enabled:
+            for shard, payload, digest in zip(shards, payloads, digests):
+                result = results.get(shard.index)
+                _LEDGER.emit(
+                    "scale.shard",
+                    index=shard.index,
+                    graphs=shard.num_graphs,
+                    nodes=shard.num_nodes(dfgs),
+                    digest=digest[:12],
+                    cached=shard.index not in
+                           {s.index for s, __, ___ in to_mine},
+                    candidates=(len(result.candidates)
+                                if result else None),
+                    lattice_nodes=(result.lattice_nodes
+                                   if result else None),
+                    lost=shard.index in lost,
+                )
+            _LEDGER.emit(
+                "scale.round",
+                workers=workers,
+                shards=stats.shards,
+                mined=stats.shards_mined,
+                lost=stats.shards_lost,
+                cache_hits=stats.cache_hits,
+                cache_misses=stats.cache_misses,
+                cache_invalid=stats.cache_invalid,
+                lattice_nodes_mined=stats.lattice_nodes_mined,
+                lattice_nodes_reused=stats.lattice_nodes_reused,
+                delta_clean=stats.delta_clean,
+                delta_dirty=stats.delta_dirty,
+                candidates=len(merged),
+            )
+            if torn_down or lost:
+                _LEDGER.emit(
+                    "scale.salvage",
+                    salvaged=sorted(results),
+                    lost=sorted(lost),
+                    candidates=len(merged),
+                )
+    return merged, stats

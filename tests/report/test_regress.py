@@ -7,7 +7,12 @@ import os
 import pytest
 
 from benchmarks.harness import BASELINE_SKIP
-from benchmarks.regress import RESULT_METRICS, compare, main
+from benchmarks.regress import (
+    RESULT_METRICS,
+    SCALE_METRICS,
+    compare,
+    main,
+)
 
 BASELINE = {
     "schema": "repro.bench/1",
@@ -89,6 +94,27 @@ class TestCompare:
         failures, __ = compare(BASELINE, current)
         assert any("workload changed" in f for f in failures)
 
+    @pytest.mark.parametrize("metric", SCALE_METRICS)
+    def test_scale_metric_drift_warns_only(self, metric):
+        baseline = copy.deepcopy(BASELINE)
+        baseline["schema"] = "repro.bench/2"
+        cell = baseline["workloads"]["sha"]["engines"]["edgar"]
+        cell.update(workers=4, shards=100, cache_hits=10,
+                    lattice_nodes_reused=500)
+        current = copy.deepcopy(baseline)
+        current["workloads"]["sha"]["engines"]["edgar"][metric] += 1
+        failures, warnings = compare(baseline, current)
+        assert failures == []
+        assert len(warnings) == 1 and metric in warnings[0]
+
+    def test_v1_vs_v2_skips_absent_scale_fields(self):
+        current = copy.deepcopy(BASELINE)
+        current["schema"] = "repro.bench/2"
+        cell = current["workloads"]["sha"]["engines"]["edgar"]
+        cell.update(workers=4, shards=100, cache_hits=10,
+                    lattice_nodes_reused=500)
+        assert compare(BASELINE, current) == ([], [])
+
 
 class TestMain:
     def _write(self, tmp_path, name, doc):
@@ -125,19 +151,21 @@ class TestCommittedBaseline:
         )
         with open(path) as handle:
             doc = json.load(handle)
-        assert doc["schema"] == "repro.bench/1"
-        # the committed baseline covers the full workload set
+        assert doc["schema"] == "repro.bench/2"
+        # the committed baseline covers the full workload set — the
+        # scale engine emptied BASELINE_SKIP, so every grid cell is in
+        assert BASELINE_SKIP == frozenset()
         assert set(doc["workloads"]) == {
             "bitcnts", "crc", "dijkstra", "patricia", "qsort",
             "rijndael", "search", "sha",
         }
         for name, entry in doc["workloads"].items():
-            expected = {
-                engine for engine in ("sfx", "edgar")
-                if (name, engine) not in BASELINE_SKIP
-            }
-            assert set(entry["engines"]) == expected
-            for cell in entry["engines"].values():
+            assert set(entry["engines"]) == {"sfx", "edgar"}
+            for engine, cell in entry["engines"].items():
                 assert set(RESULT_METRICS) <= set(cell)
+                assert set(SCALE_METRICS) <= set(cell)
+                if engine == "edgar":
+                    # the baseline is generated with --workers 4
+                    assert cell["workers"] == 4
         # a baseline must self-compare clean
         assert compare(doc, doc) == ([], [])

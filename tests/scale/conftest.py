@@ -1,0 +1,17 @@
+"""Shared fixtures for the scale suite.
+
+Every test runs with a clean fault-injection registry (a leaked armed
+fault would poison unrelated tests in the same process), and helpers
+build the small shared-fragment module the pa suite already uses.
+"""
+
+import pytest
+
+from repro.resilience import faultinject
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faultinject.disarm_all()
+    yield
+    faultinject.disarm_all()

@@ -1,0 +1,60 @@
+"""Fragment cache basics: memory/disk hit accounting, write-through
+persistence across instances, and key isolation."""
+
+from repro.scale.cache import FragmentCache
+
+BODY = {"candidates": [], "lattice_nodes": 7, "tallies": {}}
+OTHER = {"candidates": [], "lattice_nodes": 9, "tallies": {}}
+KEY = "a" * 64
+KEY2 = "b" * 64
+
+
+def test_memory_roundtrip_and_stats():
+    cache = FragmentCache()
+    assert cache.get(KEY) is None
+    assert cache.stats.misses == 1
+    cache.put(KEY, BODY)
+    assert cache.get(KEY) == BODY
+    assert cache.stats.hits == 1
+    assert cache.stats.memory_hits == 1
+    assert cache.stats.stores == 1
+    assert len(cache) == 1
+
+
+def test_disk_persistence_across_instances(tmp_path):
+    first = FragmentCache(str(tmp_path))
+    first.put(KEY, BODY)
+    second = FragmentCache(str(tmp_path))
+    assert second.get(KEY) == BODY
+    assert second.stats.disk_hits == 1
+    # promoted into memory: the next get does not touch disk again
+    assert second.get(KEY) == BODY
+    assert second.stats.memory_hits == 1
+
+
+def test_keys_are_isolated(tmp_path):
+    cache = FragmentCache(str(tmp_path))
+    cache.put(KEY, BODY)
+    cache.put(KEY2, OTHER)
+    fresh = FragmentCache(str(tmp_path))
+    assert fresh.get(KEY) == BODY
+    assert fresh.get(KEY2) == OTHER
+
+
+def test_memory_only_cache_never_touches_disk():
+    cache = FragmentCache(directory=None)
+    cache.put(KEY, BODY)
+    assert cache.get(KEY) == BODY
+    assert cache.directory is None
+
+
+def test_as_dict_census(tmp_path):
+    cache = FragmentCache(str(tmp_path))
+    cache.put(KEY, BODY)
+    cache.get(KEY)
+    cache.get(KEY2)
+    census = cache.stats.as_dict()
+    assert census["hits"] == 1
+    assert census["misses"] == 1
+    assert census["stores"] == 1
+    assert census["invalid"] == 0

@@ -1,0 +1,130 @@
+"""Cache durability: a corrupted, truncated, version-mismatched or
+misplaced persisted entry must become a typed :class:`CacheError` from
+the strict loader and a counted rebuild (never a crash, never silent
+stale reuse) from the tolerant :meth:`FragmentCache.get` path."""
+
+import json
+import os
+
+import pytest
+
+from repro.pa.driver import PAConfig, run_pa
+from repro.resilience import faultinject
+from repro.resilience.errors import CacheError, ReproError
+from repro.scale.cache import CACHE_SCHEMA, FragmentCache
+from repro.workloads import compile_workload
+
+BODY = {"candidates": [], "lattice_nodes": 3, "tallies": {}}
+KEY = "c" * 64
+
+
+def _entry_path(cache):
+    return cache._path(KEY)
+
+
+def _write_raw(cache, text):
+    with open(_entry_path(cache), "w") as handle:
+        handle.write(text)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    cache = FragmentCache(str(tmp_path))
+    cache.put(KEY, BODY)
+    return cache
+
+
+def _reopened(cache):
+    # a fresh instance with an empty memory tier, forced onto disk
+    return FragmentCache(cache.directory)
+
+
+def test_corrupted_entry_is_typed_and_rebuilt(cache):
+    _write_raw(cache, "{this is not json")
+    fresh = _reopened(cache)
+    with pytest.raises(CacheError):
+        fresh.load_entry(KEY)
+    assert fresh.get(KEY) is None          # miss, not a crash
+    assert fresh.stats.invalid == 1
+    assert not os.path.exists(_entry_path(cache))  # deleted for rebuild
+    fresh.put(KEY, BODY)
+    assert _reopened(cache).get(KEY) == BODY
+
+
+def test_truncated_entry_is_typed_and_rebuilt(cache):
+    with open(_entry_path(cache)) as handle:
+        text = handle.read()
+    _write_raw(cache, text[: len(text) // 2])
+    fresh = _reopened(cache)
+    with pytest.raises(CacheError):
+        fresh.load_entry(KEY)
+    assert fresh.get(KEY) is None
+    assert fresh.stats.invalid == 1
+
+
+def test_schema_mismatch_is_typed_never_stale(cache):
+    doc = {"schema": "repro.scale.cache/0", "key": KEY, "result": BODY}
+    _write_raw(cache, json.dumps(doc))
+    fresh = _reopened(cache)
+    with pytest.raises(CacheError) as excinfo:
+        fresh.load_entry(KEY)
+    assert "schema" in str(excinfo.value)
+    # an old-format entry must degrade to cold, not be reused silently
+    assert fresh.get(KEY) is None
+    assert fresh.stats.invalid == 1
+
+
+def test_key_mismatch_is_typed(cache):
+    doc = {"schema": CACHE_SCHEMA, "key": "d" * 64, "result": BODY}
+    _write_raw(cache, json.dumps(doc))
+    fresh = _reopened(cache)
+    with pytest.raises(CacheError):
+        fresh.load_entry(KEY)
+    assert fresh.get(KEY) is None
+
+
+def test_incomplete_body_is_typed(cache):
+    doc = {"schema": CACHE_SCHEMA, "key": KEY,
+           "result": {"candidates": []}}
+    _write_raw(cache, json.dumps(doc))
+    fresh = _reopened(cache)
+    with pytest.raises(CacheError):
+        fresh.load_entry(KEY)
+    assert fresh.get(KEY) is None
+
+
+def test_missing_entry_is_a_plain_miss(tmp_path):
+    cache = FragmentCache(str(tmp_path))
+    assert cache.get(KEY) is None
+    assert cache.stats.invalid == 0
+    assert cache.stats.misses == 1
+    with pytest.raises(CacheError):
+        cache.load_entry(KEY)
+
+
+def test_cache_error_is_a_typed_repro_error():
+    error = CacheError("boom")
+    assert isinstance(error, ReproError)
+    assert error.code == "REPRO-CACHE"
+    assert error.exit_code == 6
+
+
+def test_injected_cache_corruption_never_crashes_a_run(tmp_path):
+    """End to end: an armed ``scale.cache:corrupt`` fault makes every
+    persisted-entry load fail, and the run still completes with the
+    bit-identical result (rebuilt from mining, counted as invalid)."""
+    cachedir = str(tmp_path / "cache")
+    config = PAConfig(max_nodes=4, workers=1, fragment_cache=cachedir)
+
+    reference = compile_workload("crc")
+    run_pa(reference, config)
+
+    faultinject.arm("scale.cache:corrupt:0")
+    try:
+        victim = compile_workload("crc")
+        result = run_pa(victim, PAConfig(max_nodes=4, workers=1,
+                                         fragment_cache=cachedir))
+    finally:
+        faultinject.disarm_all()
+    assert victim.render() == reference.render()
+    assert result.cache_misses > 0

@@ -1,0 +1,70 @@
+"""Pre-clustering: shards must partition the DFG database, be stable,
+and respect the soundness invariant that two blocks sharing any
+labelled-edge signature land in the same shard (a frequent connected
+fragment of >= 2 nodes contains >= 1 edge, so blocks in different
+shards can never support one)."""
+
+import itertools
+
+from repro.dfg.builder import build_dfgs
+from repro.scale.cluster import Shard, cluster_dfgs, edge_signatures
+from repro.workloads import compile_workload
+
+
+def _dfgs(name):
+    module = compile_workload(name)
+    return build_dfgs(module, min_nodes=0)
+
+
+def test_shards_partition_all_graphs():
+    dfgs = _dfgs("crc")
+    shards = cluster_dfgs(dfgs)
+    seen = [g for shard in shards for g in shard.graph_ids]
+    assert sorted(seen) == list(range(len(dfgs)))
+    assert len(seen) == len(set(seen))
+
+
+def test_shared_edge_signature_implies_same_shard():
+    dfgs = _dfgs("crc")
+    shards = cluster_dfgs(dfgs)
+    shard_of = {
+        g: shard.index for shard in shards for g in shard.graph_ids
+    }
+    signatures = [edge_signatures(dfg) for dfg in dfgs]
+    for a, b in itertools.combinations(range(len(dfgs)), 2):
+        if signatures[a] & signatures[b]:
+            assert shard_of[a] == shard_of[b], (
+                f"graphs {a} and {b} share an edge signature but sit "
+                f"in shards {shard_of[a]} and {shard_of[b]}"
+            )
+
+
+def test_clustering_is_deterministic():
+    dfgs = _dfgs("search")
+    first = cluster_dfgs(dfgs)
+    second = cluster_dfgs(dfgs)
+    assert first == second
+    # canonical ordering: shards by smallest member, members ascending
+    assert [s.index for s in first] == list(range(len(first)))
+    for shard in first:
+        assert list(shard.graph_ids) == sorted(shard.graph_ids)
+    firsts = [shard.graph_ids[0] for shard in first]
+    assert firsts == sorted(firsts)
+
+
+def test_edgeless_graphs_become_singleton_shards():
+    dfgs = _dfgs("crc")
+    shards = cluster_dfgs(dfgs)
+    shard_of = {
+        g: shard for shard in shards for g in shard.graph_ids
+    }
+    for g, dfg in enumerate(dfgs):
+        if not edge_signatures(dfg):
+            assert shard_of[g].num_graphs == 1
+
+
+def test_shard_num_nodes():
+    dfgs = _dfgs("crc")
+    shard = Shard(index=0, graph_ids=(0, 1))
+    assert shard.num_nodes(dfgs) == dfgs[0].num_nodes + dfgs[1].num_nodes
+    assert shard.num_graphs == 2

@@ -1,0 +1,79 @@
+"""Incremental re-mining planner: only shards whose payload digest
+changed are predicted dirty, and the prediction matches what actually
+happens across the rounds of a real run (an extraction dirties the
+shards holding rewritten blocks; renumbering alone dirties nothing)."""
+
+from repro.dfg.builder import build_dfgs
+from repro.pa.driver import PAConfig, run_pa
+from repro.pa.legality import sp_fragile_functions
+from repro.pa.liveness import lr_live_out_blocks
+from repro.scale.cluster import cluster_dfgs
+from repro.scale.delta import DeltaPlanner
+from repro.scale.shard import build_payload
+from repro.workloads import compile_workload
+
+
+def _digests(module, config):
+    dfgs = build_dfgs(module, min_nodes=0, mined_kinds=config.mined_kinds)
+    lr_live = lr_live_out_blocks(module)
+    fragile = sp_fragile_functions(module)
+    return [
+        build_payload(shard, dfgs, lr_live, fragile, config).digest()
+        for shard in cluster_dfgs(dfgs)
+    ]
+
+
+def test_first_plan_is_initial_and_all_dirty():
+    planner = DeltaPlanner()
+    plan = planner.plan(["d1", "d2", "d3"])
+    assert plan.initial
+    assert plan.clean == []
+    assert plan.dirty == [0, 1, 2]
+    assert plan.reuse_fraction == 0.0
+
+
+def test_unchanged_digests_are_clean():
+    planner = DeltaPlanner()
+    planner.plan(["d1", "d2", "d3"])
+    plan = planner.plan(["d1", "d2", "d3"])
+    assert not plan.initial
+    assert plan.clean == [0, 1, 2]
+    assert plan.dirty == []
+    assert plan.reuse_fraction == 1.0
+
+
+def test_changed_subset_is_dirty_regardless_of_position():
+    planner = DeltaPlanner()
+    planner.plan(["d1", "d2", "d3"])
+    # d2 rewritten to d9, d3 moved to index 1: position is not identity
+    plan = planner.plan(["d1", "d3", "d9"])
+    assert plan.clean == [0, 1]
+    assert plan.dirty == [2]
+    assert 0.0 < plan.reuse_fraction < 1.0
+
+
+def test_empty_round():
+    planner = DeltaPlanner()
+    plan = planner.plan([])
+    assert plan.initial
+    assert plan.reuse_fraction == 0.0
+
+
+def test_extraction_invalidates_only_touched_shards():
+    """After one real abstraction round most shard digests survive —
+    the incremental rule would have re-mined only the rewritten few."""
+    config = PAConfig(max_nodes=4)
+    module = compile_workload("crc")
+    before = _digests(module, config)
+    result = run_pa(module, PAConfig(max_nodes=4, max_rounds=1))
+    assert result.rounds == 1
+    after = _digests(module, config)
+    surviving = set(before) & set(after)
+    assert surviving, "an extraction must not rewrite every block"
+    # and something did change (the new pa_* function, rewritten sites)
+    assert set(after) != set(before)
+    planner = DeltaPlanner()
+    planner.plan(before)
+    plan = planner.plan(after)
+    assert plan.clean and plan.dirty
+    assert len(plan.clean) >= len(plan.dirty)
