@@ -41,6 +41,17 @@ content-addressed shard cache across runs; implies ``--workers 1``).
 The sharded engine's output is bit-identical for every worker count and
 every cache state — only wall-clock changes.
 
+Observability (see :mod:`repro.telemetry`): the same three commands
+accept ``--progress`` (a live one-line status on stderr),
+``--events-out FILE`` (a JSONL stream of progress events, schema
+``repro.telemetry.events/1``) and ``--metrics-out FILE`` (an
+OpenMetrics/Prometheus-textfile snapshot of the run's counters,
+histograms and per-shard mining timings).  With ``--workers`` the
+``--trace-out`` Chrome trace stitches every worker process's spans in
+under named process rows.  All of it is off by default and none of it
+changes results: the observability flags are load-bearing-free by
+construction (see the bit-identity tests).
+
 Resilience (see ``src/repro/resilience/``): ``pa --checkpoint FILE``
 rewrites a crash-safe resume file after every committed round and
 ``pa --resume FILE`` continues from it, bit-identically to the
@@ -55,6 +66,7 @@ to re-raise).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -62,6 +74,8 @@ import time
 from typing import Optional
 
 from repro import telemetry
+from repro.telemetry import progress as telemetry_progress
+from repro.telemetry.openmetrics import SHARD_TIMING_EVENT
 from repro.analysis.tables import Table1Row, format_table1, format_table2
 from repro.report import ledger
 from repro.report.explain import explain_round, explain_run
@@ -127,17 +141,36 @@ def _load_source(source: str, assembly: bool) -> Module:
 # telemetry plumbing shared by pa / table1 / profile
 # ----------------------------------------------------------------------
 #: args attributes that name output files (checked before the run)
-_OUTPUT_ATTRS = ("trace_out", "stats_out", "json", "report", "ledger_out")
+_OUTPUT_ATTRS = ("trace_out", "stats_out", "json", "report", "ledger_out",
+                 "events_out", "metrics_out")
 
 
 def _add_telemetry_args(parser) -> None:
     parser.add_argument(
         "--trace-out", metavar="FILE",
-        help="write a Chrome trace_event JSON (chrome://tracing, Perfetto)",
+        help="write a Chrome trace_event JSON (chrome://tracing, "
+             "Perfetto); with --workers the trace merges every worker "
+             "process under named process rows",
     )
     parser.add_argument(
         "--stats-out", metavar="FILE",
         help="write counters/histograms/span summaries as JSON",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the run's counters/histograms/per-shard timings in "
+             "the OpenMetrics text format (Prometheus textfile "
+             "collector)",
+    )
+    parser.add_argument(
+        "--events-out", metavar="FILE",
+        help="stream live progress events as JSONL (schema "
+             f"{telemetry.EVENTS_SCHEMA})",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="live one-line status on stderr (rounds, shards, cache "
+             "hits, savings)",
     )
     parser.add_argument(
         "--force", action="store_true",
@@ -187,7 +220,8 @@ def _telemetry_begin(args, force: bool = False) -> bool:
     _check_output_paths(args)
     wanted = force or any(
         getattr(args, name, None)
-        for name in ("trace_out", "stats_out", "json", "report")
+        for name in ("trace_out", "stats_out", "json", "report",
+                     "metrics_out")
     )
     if wanted:
         telemetry.reset()
@@ -231,7 +265,83 @@ def _telemetry_finish(args) -> None:
                  getattr(args, "json", None)} - {None}:
         telemetry.write_stats(registry, path)
         print(f"wrote {path}", file=sys.stderr)
+    if getattr(args, "metrics_out", None):
+        # a failed metrics export must never cost the primary outputs
+        # that were already written above — warn and move on
+        try:
+            faultinject.fault("scale.metrics")
+            telemetry.write_openmetrics(registry, args.metrics_out)
+            print(f"wrote {args.metrics_out}", file=sys.stderr)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            print(f"warning: metrics export failed ({exc})",
+                  file=sys.stderr)
     telemetry.disable()
+
+
+@contextlib.contextmanager
+def _progress_scope(args):
+    """Route run progress onto a live bus when ``--progress`` or
+    ``--events-out`` ask for one; a no-op scope otherwise."""
+    wants_tty = bool(getattr(args, "progress", False))
+    events_path = getattr(args, "events_out", None)
+    if not wants_tty and not events_path:
+        yield None
+        return
+    bus = telemetry_progress.ProgressBus(
+        tty=sys.stderr if wants_tty else None,
+        events_path=events_path,
+    )
+    try:
+        with telemetry_progress.activate(bus):
+            yield bus
+    finally:
+        bus.close()
+        if events_path and not bus.broken:
+            print(f"wrote {events_path}", file=sys.stderr)
+
+
+def _shard_imbalance_table(registry) -> str:
+    """Per-shard mining wall-clock table (``profile``, scale engine).
+
+    Aggregated from the ``scale.shard.timing`` events the pool parent
+    emits per mined shard; empty string when none were recorded (serial
+    engine, or every shard came from the cache)."""
+    seconds = {}
+    nodes = {}
+    rounds = {}
+    for event in registry.events:
+        if event.get("name") != SHARD_TIMING_EVENT:
+            continue
+        shard = event.get("shard")
+        if shard is None:
+            continue
+        seconds[shard] = (seconds.get(shard, 0.0)
+                          + float(event.get("seconds", 0)))
+        nodes[shard] = (nodes.get(shard, 0)
+                        + int(event.get("lattice_nodes", 0)))
+        rounds[shard] = rounds.get(shard, 0) + 1
+    if not seconds:
+        return ""
+    total = sum(seconds.values())
+    lines = ["shard  rounds   seconds   share  lattice nodes"]
+    for shard in sorted(seconds):
+        share = (seconds[shard] / total * 100.0) if total else 0.0
+        lines.append(
+            f"{shard:5d}  {rounds[shard]:6d}  {seconds[shard]:8.3f}  "
+            f"{share:5.1f}%  {nodes[shard]:13d}"
+        )
+    mean = total / len(seconds)
+    peak = max(seconds.values())
+    ratio = (peak / mean) if mean else 0.0
+    summary = (f"imbalance: max/mean = {ratio:.2f}x "
+               f"over {len(seconds)} shards")
+    stalled = registry.counter_value("scale.shards.stalled")
+    if stalled:
+        summary += f", {stalled} flagged stalled"
+    lines.append(summary)
+    return "\n".join(lines)
 
 
 def _compile_config_from_args(args) -> CompileConfig:
@@ -334,7 +444,8 @@ def cmd_pa(args) -> int:
     reference = run_image(layout(module), max_steps=args.max_steps)
     before = module.num_instructions
     try:
-        with ledger.GLOBAL.context(source=args.source):
+        with _progress_scope(args), \
+                ledger.GLOBAL.context(source=args.source):
             if args.engine == "sfx":
                 result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
             else:
@@ -366,6 +477,10 @@ def cmd_pa(args) -> int:
               f"cache {result.cache_hits} hits / "
               f"{result.cache_misses} misses, "
               f"{result.lattice_nodes_reused} lattice nodes reused",
+              file=sys.stderr)
+    if getattr(result, "stragglers", 0):
+        print(f"note: {result.stragglers} shard(s) went quiet past the "
+              "straggler watchdog threshold (see shard.stalled events)",
               file=sys.stderr)
     if getattr(result, "degraded", False):
         # Anytime semantics: degraded is still exit 0 — the module is
@@ -411,46 +526,47 @@ def cmd_table1(args) -> int:
         args.workers = 1     # a persistent cache implies the scale engine
     traced = _telemetry_begin(args)
     rows = []
-    for name in args.programs or sorted(PROGRAMS):
-        base = compile_workload(name).num_instructions
-        saved = {}
-        for engine in ("sfx", "dgspan", "edgar"):
-            module = compile_workload(name)
-            started = time.perf_counter()
-            with telemetry.span("table1.cell", workload=name,
-                                engine=engine):
-                if engine == "sfx":
-                    result = run_sfx(module)
-                else:
-                    result = run_pa(module, PAConfig(
-                        miner=engine, time_budget=args.time_budget,
-                        workers=args.workers,
-                        fragment_cache=args.fragment_cache))
-            verify_workload(name, module)
-            saved[engine] = base - module.num_instructions
-            elapsed = time.perf_counter() - started
-            telemetry.event(
-                "table1.row",
-                program=name,
-                engine=engine,
-                instructions=base,
-                saved=saved[engine],
-                seconds=elapsed,
-                degraded=bool(getattr(result, "degraded", False)),
-                deadline_hits=getattr(result, "deadline_hits", 0),
-                mis_budget_exhausted=getattr(
-                    result, "mis_budget_exhausted", 0),
-                workers=getattr(result, "workers", 0),
-                shards=getattr(result, "shards", 0),
-                cache_hits=getattr(result, "cache_hits", 0),
-                lattice_nodes_reused=getattr(
-                    result, "lattice_nodes_reused", 0),
-            )
-            print(f"  {name}/{engine}: saved {saved[engine]} "
-                  f"({elapsed:.1f}s)",
-                  file=sys.stderr)
-        rows.append(Table1Row(name, base, saved["sfx"], saved["dgspan"],
-                              saved["edgar"]))
+    with _progress_scope(args):
+        for name in args.programs or sorted(PROGRAMS):
+            base = compile_workload(name).num_instructions
+            saved = {}
+            for engine in ("sfx", "dgspan", "edgar"):
+                module = compile_workload(name)
+                started = time.perf_counter()
+                with telemetry.span("table1.cell", workload=name,
+                                    engine=engine):
+                    if engine == "sfx":
+                        result = run_sfx(module)
+                    else:
+                        result = run_pa(module, PAConfig(
+                            miner=engine, time_budget=args.time_budget,
+                            workers=args.workers,
+                            fragment_cache=args.fragment_cache))
+                verify_workload(name, module)
+                saved[engine] = base - module.num_instructions
+                elapsed = time.perf_counter() - started
+                telemetry.event(
+                    "table1.row",
+                    program=name,
+                    engine=engine,
+                    instructions=base,
+                    saved=saved[engine],
+                    seconds=elapsed,
+                    degraded=bool(getattr(result, "degraded", False)),
+                    deadline_hits=getattr(result, "deadline_hits", 0),
+                    mis_budget_exhausted=getattr(
+                        result, "mis_budget_exhausted", 0),
+                    workers=getattr(result, "workers", 0),
+                    shards=getattr(result, "shards", 0),
+                    cache_hits=getattr(result, "cache_hits", 0),
+                    lattice_nodes_reused=getattr(
+                        result, "lattice_nodes_reused", 0),
+                )
+                print(f"  {name}/{engine}: saved {saved[engine]} "
+                      f"({elapsed:.1f}s)",
+                      file=sys.stderr)
+            rows.append(Table1Row(name, base, saved["sfx"],
+                                  saved["dgspan"], saved["edgar"]))
     print(format_table1(rows))
     if traced:
         _telemetry_finish(args)
@@ -467,17 +583,18 @@ def cmd_profile(args) -> int:
     _telemetry_begin(args, force=True)
     module = _load_source(args.source, args.assembly)
     before = module.num_instructions
-    if args.engine == "sfx":
-        result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
-    else:
-        result = run_pa(module, PAConfig(
-            miner=args.engine,
-            max_nodes=args.max_nodes,
-            time_budget=args.time_budget,
-            verify=args.verify,
-            workers=args.workers,
-            fragment_cache=args.fragment_cache,
-        ))
+    with _progress_scope(args):
+        if args.engine == "sfx":
+            result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
+        else:
+            result = run_pa(module, PAConfig(
+                miner=args.engine,
+                max_nodes=args.max_nodes,
+                time_budget=args.time_budget,
+                verify=args.verify,
+                workers=args.workers,
+                fragment_cache=args.fragment_cache,
+            ))
     registry = telemetry.get()
     print(f"{args.source}/{args.engine}: {before} -> "
           f"{module.num_instructions} instructions "
@@ -487,6 +604,10 @@ def cmd_profile(args) -> int:
     print(telemetry.tree_summary(registry))
     print()
     print(telemetry.counters_summary(registry))
+    shard_table = _shard_imbalance_table(registry)
+    if shard_table:
+        print()
+        print(shard_table)
     _telemetry_finish(args)
     return 0
 

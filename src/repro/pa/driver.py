@@ -25,6 +25,7 @@ from repro.resilience import checkpoint as _ckpt
 from repro.resilience.faultinject import fault
 from repro.resilience.governor import RunGovernor, activate
 from repro.telemetry import GLOBAL as _TELEMETRY
+from repro.telemetry import progress as _progress
 
 from repro.pa.extract import (
     call_site_feasible,
@@ -166,6 +167,11 @@ class PAResult:
     cache_misses: int = 0
     #: lattice nodes served from the fragment cache instead of re-mined
     lattice_nodes_reused: int = 0
+    #: shards the progress watchdog flagged for stale heartbeats
+    stragglers: int = 0
+    #: end-of-run fragment-cache census (hits/misses/stores/...);
+    #: empty under the legacy serial engine
+    cache_census: Dict[str, int] = field(default_factory=dict)
 
     @property
     def saved(self) -> int:
@@ -653,6 +659,13 @@ def run_pa(module: Module, config: Optional[PAConfig] = None,
             elapsed_seconds=round(result.elapsed_seconds, 6),
             dropped=dict(_LEDGER.dropped),
         )
+    _progress.publish(
+        "run.done",
+        saved=result.saved,
+        rounds=result.rounds,
+        instructions=result.instructions_after,
+        degraded=result.degraded,
+    )
     return result
 
 
@@ -761,6 +774,13 @@ def _run_pa(module: Module, config: PAConfig, governor: RunGovernor,
             )
     result.instructions_after = module.num_instructions
     result.elapsed_seconds = time.perf_counter() - started
+    if scale is not None:
+        census = scale[0].stats.as_dict()
+        result.cache_census = census
+        if _TELEMETRY.enabled:
+            for key in sorted(census):
+                _TELEMETRY.count(f"scale.cache.census.{key}",
+                                 census[key])
     return result
 
 
@@ -839,6 +859,10 @@ def _round_once(module: Module, config: PAConfig, governor: RunGovernor,
                 "round.begin", instructions=module.num_instructions,
                 carryover=len(carryover),
             )
+        _progress.publish(
+            "round.start", round=round_index,
+            instructions=module.num_instructions,
+        )
         mine_started = time.perf_counter()
         if scale is not None:
             from repro.scale.pool import run_sharded_round
@@ -864,6 +888,7 @@ def _round_once(module: Module, config: PAConfig, governor: RunGovernor,
                 scale_stats.lattice_nodes_reused
             result.shards = max(result.shards, scale_stats.shards)
             result.shards_lost += scale_stats.shards_lost
+            result.stragglers += scale_stats.stragglers
             result.cache_hits += scale_stats.cache_hits
             result.cache_misses += scale_stats.cache_misses
             if scale_stats.shards_lost:
@@ -905,6 +930,8 @@ def _round_once(module: Module, config: PAConfig, governor: RunGovernor,
                     instructions=module.num_instructions,
                     applied=0, saved=0,
                 )
+            _progress.publish("round.done", round=round_index,
+                              applied=0, saved=0)
             return None
         if not config.batch:
             candidates = candidates[:1]
@@ -932,6 +959,8 @@ def _round_once(module: Module, config: PAConfig, governor: RunGovernor,
                     instructions=module.num_instructions,
                     applied=0, saved=0,
                 )
+            _progress.publish("round.done", round=round_index,
+                              applied=0, saved=0)
             return None
         if _LEDGER.enabled:
             _LEDGER.emit(
@@ -940,6 +969,11 @@ def _round_once(module: Module, config: PAConfig, governor: RunGovernor,
                 applied=len(records),
                 saved=before_apply - module.num_instructions,
             )
+        _progress.publish(
+            "round.done", round=round_index,
+            applied=len(records),
+            saved=before_apply - module.num_instructions,
+        )
         for record in records:
             record.round = round_index
         if _TELEMETRY.enabled:

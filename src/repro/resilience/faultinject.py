@@ -51,6 +51,12 @@ scale.pool          sharded engine, entry of one round's pool
 scale.cache         fragment cache, entry of one persistent-entry
                     load (``corrupt`` simulates a garbled entry — the
                     cache must rebuild, not crash)
+scale.progress      progress bus, queue creation and event dispatch
+                    (the bus must degrade to broken — mining never
+                    hangs or dies because its progress feed did)
+scale.metrics       OpenMetrics exporter, entry of the
+                    ``--metrics-out`` write (the CLI must warn and
+                    keep its primary outputs)
 =================== =================================================
 """
 
@@ -77,6 +83,8 @@ FAULT_POINTS = frozenset({
     "checkpoint.load",
     "scale.pool",
     "scale.cache",
+    "scale.progress",
+    "scale.metrics",
 })
 
 _MODES = ("raise", "interrupt", "deadline", "corrupt")

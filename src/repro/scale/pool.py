@@ -17,13 +17,19 @@ Determinism invariants (the bit-identity gate relies on these):
   content digest of the work unit (instructions, legality facts,
   mining config, wire-format schema), so a hit returns exactly what
   mining would produce.
-* **Instrumentation parity.**  Deep telemetry/ledger instrumentation
-  is suppressed during shard mining in *both* the in-process and the
-  worker path (children inherit the parent's registries under the
-  ``fork`` start method); the parent replays each shard's funnel
-  tallies into telemetry in shard order and emits per-shard ledger
-  records itself, so observability output is identical for any
-  ``--workers`` value and any cache temperature.
+* **Instrumentation parity.**  When telemetry is enabled, shard mining
+  records into an isolated capture scope (:mod:`repro.telemetry.remote`)
+  in *both* the in-process and the worker path, and the parent stitches
+  every snapshot back in deterministic shard order — so counters and
+  span counts are identical for any ``--workers`` value and any cache
+  temperature (only durations, pids and timestamps differ, which is
+  what a trace is for).  When telemetry is disabled the same capture
+  scope runs suppressed, preserving the bit-identity guarantee.  The
+  ledger stays parent-only either way: the parent replays each shard's
+  funnel tallies and emits per-shard ledger records itself.  Progress
+  events (:mod:`repro.telemetry.progress`) flow from workers over a
+  queue handed through the pool initializer and are drained in the
+  parent's poll loop, which doubles as the straggler watchdog.
 
 Governor-aware teardown: the parent polls the active run governor
 between completions; on SIGINT/SIGTERM/deadline it terminates the pool
@@ -51,6 +57,8 @@ from repro.resilience import governor as _governor
 from repro.resilience.faultinject import disarm_all, fault
 from repro.resilience.governor import RunGovernor
 from repro.telemetry import GLOBAL as _TELEMETRY
+from repro.telemetry import progress as _progress
+from repro.telemetry import remote as _remote
 
 from repro.scale.cache import FragmentCache
 from repro.scale.cluster import Shard, cluster_dfgs
@@ -92,31 +100,37 @@ class ScaleStats:
     deadline_hits: int = 0
     delta_clean: int = 0
     delta_dirty: int = 0
+    #: shards whose heartbeats went stale past the watchdog threshold
+    #: (they may still have completed — stalled flags imbalance, not
+    #: loss)
+    stragglers: int = 0
     tallies: Dict[str, int] = field(default_factory=dict)
 
 
 @contextlib.contextmanager
-def _suppressed_instrumentation():
-    """Silence deep telemetry/ledger emission around in-process shard
-    mining, so the ``workers=1`` path produces exactly the counters a
-    worker pool (whose children's registries are disabled) would."""
-    telemetry_was, ledger_was = _TELEMETRY.enabled, _LEDGER.enabled
-    _TELEMETRY.enabled = False
+def _suppressed_ledger():
+    """Silence ledger emission around in-process shard mining: shard
+    funnels never write decision records directly — the parent emits
+    per-shard ledger records itself, identically for every worker
+    count.  (Telemetry is handled separately by the capture scope.)"""
+    ledger_was = _LEDGER.enabled
     _LEDGER.enabled = False
     try:
         yield
     finally:
-        _TELEMETRY.enabled = telemetry_was
         _LEDGER.enabled = ledger_was
 
 
-def _worker_init() -> None:
+def _worker_init(progress_queue=None) -> None:
     """Runs once in every pool child before it accepts work.
 
     SIGINT is ignored (teardown is the parent's decision — it
     ``terminate()``s the pool, which delivers SIGTERM); inherited
     instrumentation registries and armed fault specs are cleared so a
     child neither double-counts nor fires parent-targeted chaos specs.
+    When the parent runs a progress bus, its queue arrives here (mp
+    queues only cross the fork through the initializer) and the child's
+    publish hooks are routed onto it.
     """
     import signal
 
@@ -129,27 +143,45 @@ def _worker_init() -> None:
     disarm_all()
     _TELEMETRY.enabled = False
     _LEDGER.enabled = False
+    # also drops any bus inherited from the parent through fork
+    _progress.worker_attach(progress_queue)
 
 
-def _mine_shard_job(payload: ShardPayload,
-                    budget: Optional[float]) -> ShardResult:
-    """Pool entry point: mine one shard under a child-local governor."""
+def _mine_shard_job(payload: ShardPayload, budget: Optional[float],
+                    capture_telemetry: bool = False) -> ShardResult:
+    """Pool entry point: mine one shard under a child-local governor.
+
+    With *capture_telemetry*, the mine records spans/counters into an
+    isolated scope whose snapshot rides back on the (transient)
+    ``result.telemetry`` field for the parent to stitch in.
+    """
     child_governor = RunGovernor(time_budget=budget)
     with _governor.activate(child_governor):
-        return mine_shard(payload)
+        if not capture_telemetry:
+            return mine_shard(payload)
+        with _remote.capture() as captured:
+            result = mine_shard(payload)
+        result.telemetry = captured.snapshot
+        return result
 
 
 def _mine_parallel(
     to_mine: List[Tuple[Shard, ShardPayload, str]],
     workers: int,
     governor: RunGovernor,
-) -> Tuple[Dict[int, ShardResult], List[int], bool]:
+    bus=None,
+    capture_telemetry: bool = False,
+) -> Tuple[Dict[int, ShardResult], List[int], bool, int]:
     """Expand the missing shards on a worker pool.
 
     Returns ``(completed by shard index, lost shard indices,
-    torn_down)``.  Dispatch order is largest-first (by payload size)
-    for load balance; it cannot affect results — only which shards
-    finish before a teardown.
+    torn_down, stragglers)``.  Dispatch order is largest-first (by
+    payload size) for load balance; it cannot affect results — only
+    which shards finish before a teardown.  When a progress *bus* is
+    active, its worker queue rides into the children through the pool
+    initializer, the poll loop drains it, and stale heartbeats are
+    flagged as stragglers (counted on the governor so degradation
+    notes surface them).
     """
     order = sorted(
         range(len(to_mine)),
@@ -160,8 +192,12 @@ def _mine_parallel(
     )
     completed: Dict[int, ShardResult] = {}
     torn_down = False
+    stragglers = 0
+    queue = bus.worker_queue() if bus is not None else None
     pool = multiprocessing.Pool(
-        processes=min(workers, len(to_mine)), initializer=_worker_init
+        processes=min(workers, len(to_mine)),
+        initializer=_worker_init,
+        initargs=(queue,),
     )
     pending: Dict[int, object] = {}
     try:
@@ -169,9 +205,15 @@ def _mine_parallel(
         for i in order:
             shard, payload, __ = to_mine[i]
             pending[shard.index] = pool.apply_async(
-                _mine_shard_job, (payload, budget)
+                _mine_shard_job, (payload, budget, capture_telemetry)
             )
         while pending:
+            if bus is not None:
+                bus.drain()
+                for shard_index in bus.stragglers():
+                    stragglers += 1
+                    governor.count("scale.stragglers")
+                    _TELEMETRY.count("scale.shards.stalled")
             if governor.should_stop():
                 torn_down = True
                 break
@@ -198,7 +240,10 @@ def _mine_parallel(
         raise
     finally:
         pool.join()
-    return completed, sorted(pending), torn_down
+    if bus is not None:
+        # events the children flushed before exiting
+        bus.drain()
+    return completed, sorted(pending), torn_down, stragglers
 
 
 def run_sharded_round(
@@ -217,6 +262,8 @@ def run_sharded_round(
     """
     workers = max(1, config.workers)
     stats = ScaleStats(workers=workers)
+    bus = _progress.active()
+    capture_telemetry = _TELEMETRY.enabled
     with _TELEMETRY.span("scale.round", workers=workers):
         dfgs = build_dfgs(module, min_nodes=0,
                           mined_kinds=config.mined_kinds)
@@ -251,30 +298,70 @@ def run_sharded_round(
         stats.cache_hits = len(results)
         stats.cache_misses = len(to_mine)
         stats.cache_invalid = cache.stats.invalid - invalid_before
+        _progress.publish(
+            "round.shards",
+            shards=stats.shards,
+            cached=stats.cache_hits,
+            to_mine=len(to_mine),
+            workers=workers,
+        )
         lost: List[int] = []
         torn_down = False
         if to_mine:
             fault("scale.pool")
             with _TELEMETRY.span("scale.mine", shards=len(to_mine)):
                 if workers <= 1:
-                    with _suppressed_instrumentation():
+                    with _suppressed_ledger():
                         for shard, payload, digest in to_mine:
                             if governor.should_stop():
                                 lost.append(shard.index)
                                 torn_down = True
                                 continue
-                            results[shard.index] = mine_shard(payload)
+                            with _remote.capture(
+                                enabled=capture_telemetry
+                            ) as captured:
+                                result = mine_shard(payload)
+                            result.telemetry = captured.snapshot
+                            results[shard.index] = result
+                            if bus is not None:
+                                for __ in bus.stragglers():
+                                    stats.stragglers += 1
+                                    governor.count("scale.stragglers")
+                                    _TELEMETRY.count(
+                                        "scale.shards.stalled")
                 else:
-                    completed, lost, torn_down = _mine_parallel(
-                        to_mine, workers, governor
-                    )
+                    completed, lost, torn_down, stalled = \
+                        _mine_parallel(to_mine, workers, governor,
+                                       bus, capture_telemetry)
                     results.update(completed)
+                    stats.stragglers = stalled
+                if capture_telemetry:
+                    # stitch worker telemetry in deterministic shard
+                    # order, inside the scale.mine span so worker
+                    # spans nest under it in the profile tree
+                    for shard in shards:
+                        result = results.get(shard.index)
+                        if result is None or result.telemetry is None:
+                            continue
+                        _remote.merge_snapshot(_TELEMETRY,
+                                               result.telemetry)
+                        result.telemetry = None
             for shard, payload, digest in to_mine:
                 result = results.get(shard.index)
                 if result is None:
                     continue
                 stats.shards_mined += 1
                 stats.lattice_nodes_mined += result.lattice_nodes
+                if capture_telemetry and result.mine_seconds:
+                    _TELEMETRY.observe("scale.shard.mine_seconds",
+                                       result.mine_seconds)
+                    _TELEMETRY.event(
+                        "scale.shard.timing",
+                        shard=shard.index,
+                        seconds=round(result.mine_seconds, 6),
+                        lattice_nodes=result.lattice_nodes,
+                        graphs=shard.num_graphs,
+                    )
                 if result.deadline_hit:
                     # partial (the mine unwound at the deadline);
                     # usable this round, but never cached
@@ -344,6 +431,7 @@ def run_sharded_round(
                 lattice_nodes_reused=stats.lattice_nodes_reused,
                 delta_clean=stats.delta_clean,
                 delta_dirty=stats.delta_dirty,
+                stragglers=stats.stragglers,
                 candidates=len(merged),
             )
             if torn_down or lost:

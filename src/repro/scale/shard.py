@@ -36,8 +36,11 @@ from repro.mining.gspan import DgSpan, Fragment
 from repro.pa.extract import call_site_feasible, order_consistent_subset
 from repro.pa.fragments import Candidate, best_possible_benefit, score
 from repro.pa.legality import ExtractionMethod, legal_embeddings
+from repro.telemetry import GLOBAL as _TELEMETRY
+from repro.telemetry import progress as _progress
 
 import hashlib
+import time
 
 #: Version tag of the shard payload/result wire format.  Bump on any
 #: change to the funnel, the payload fields or the candidate wire
@@ -144,6 +147,13 @@ class ShardResult:
     tallies: Dict[str, int] = field(default_factory=dict)
     #: the mine was truncated by the deadline — partial, never cached
     deadline_hit: bool = False
+    #: wall-clock of this mine.  Transient observability — excluded
+    #: from :meth:`to_doc`, so a cached entry never replays a stale
+    #: timing (cache hits report 0.0).
+    mine_seconds: float = 0.0
+    #: worker telemetry snapshot (:mod:`repro.telemetry.remote`), set
+    #: by the pool when capture is on.  Transient, never persisted.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def to_doc(self) -> Dict[str, Any]:
         """The JSON body persisted by the fragment cache."""
@@ -254,6 +264,9 @@ def mine_shard(payload: ShardPayload) -> ShardResult:
     ``deadline_hit`` (still sound, but partial — callers must not
     cache it).
     """
+    started = time.perf_counter()
+    _progress.publish("shard.start", shard=payload.shard_index,
+                      blocks=len(payload.block_insns))
     conf = payload.config
     mined_kinds = frozenset(conf.mined_kinds)
     dfgs = [
@@ -276,6 +289,13 @@ def mine_shard(payload: ShardPayload) -> ShardResult:
 
     def consider(frag) -> None:
         tallies["considered"] += 1
+        _progress.heartbeat(
+            shard=payload.shard_index,
+            considered=tallies["considered"],
+            scored=tallies["scored"],
+            lattice_nodes=miner.visited_nodes,
+            best_benefit=floor(),
+        )
         per_graph: Dict[int, int] = {}
         for emb in frag.embeddings:
             per_graph[emb.graph] = per_graph.get(emb.graph, 0) + 1
@@ -323,33 +343,46 @@ def mine_shard(payload: ShardPayload) -> ShardResult:
     miner.prune_subtree = prune_subtree
     miner.on_fragment = consider
     try:
-        if miner.max_nodes > 4:
-            # shallow pre-pass seeds the shard-local floor cheaply
-            saved_max = miner.max_nodes
-            miner.max_nodes = 3
-            try:
-                miner.mine(dfgs)
-            finally:
-                miner.max_nodes = saved_max
-        miner.mine(dfgs)
-        if conf.flow_pass and FLOW_KINDS != mined_kinds:
-            flow_dfgs = [
-                build_dfg(BasicBlock([], list(insns)),
-                          origin=("", local), mined_kinds=FLOW_KINDS)
-                for local, insns in enumerate(payload.block_insns)
-            ]
-            miner.mine(flow_dfgs)
+        with _TELEMETRY.span("scale.shard.mine",
+                             shard=payload.shard_index,
+                             graphs=len(dfgs)):
+            if miner.max_nodes > 4:
+                # shallow pre-pass seeds the shard-local floor cheaply
+                saved_max = miner.max_nodes
+                miner.max_nodes = 3
+                try:
+                    miner.mine(dfgs)
+                finally:
+                    miner.max_nodes = saved_max
+            miner.mine(dfgs)
+            if conf.flow_pass and FLOW_KINDS != mined_kinds:
+                flow_dfgs = [
+                    build_dfg(BasicBlock([], list(insns)),
+                              origin=("", local), mined_kinds=FLOW_KINDS)
+                    for local, insns in enumerate(payload.block_insns)
+                ]
+                miner.mine(flow_dfgs)
     finally:
         miner.prune_subtree = None
         miner.on_fragment = None
     collected.sort(key=lambda c: c.sort_key())
-    return ShardResult(
+    result = ShardResult(
         shard_index=payload.shard_index,
         candidates=[_candidate_to_wire(c) for c in collected],
         lattice_nodes=miner.visited_nodes,
         tallies=tallies,
         deadline_hit=miner.deadline_hit,
+        mine_seconds=time.perf_counter() - started,
     )
+    _progress.publish(
+        "shard.done",
+        shard=payload.shard_index,
+        seconds=round(result.mine_seconds, 6),
+        lattice_nodes=result.lattice_nodes,
+        candidates=len(result.candidates),
+        deadline_hit=result.deadline_hit,
+    )
+    return result
 
 
 def revive_candidates(dfgs: Sequence[DFG], graph_ids: Sequence[int],

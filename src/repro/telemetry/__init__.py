@@ -35,6 +35,17 @@ from repro.telemetry.export import (
     write_stats,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram
+from repro.telemetry.openmetrics import (
+    openmetrics_text,
+    write_openmetrics,
+)
+from repro.telemetry.progress import EVENTS_SCHEMA, ProgressBus
+from repro.telemetry.remote import (
+    SNAPSHOT_SCHEMA,
+    capture,
+    merge_snapshot,
+    snapshot,
+)
 
 __all__ = [
     "GLOBAL",
@@ -55,10 +66,18 @@ __all__ = [
     "observe",
     "event",
     "STATS_SCHEMA",
+    "EVENTS_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "ProgressBus",
+    "capture",
+    "merge_snapshot",
+    "snapshot",
     "chrome_trace",
     "stats_dict",
     "tree_summary",
     "counters_summary",
     "write_chrome_trace",
     "write_stats",
+    "openmetrics_text",
+    "write_openmetrics",
 ]

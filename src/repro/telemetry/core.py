@@ -56,6 +56,10 @@ class SpanRecord:
     duration: float
     thread: int
     args: Dict[str, Any] = field(default_factory=dict)
+    #: originating process: 0 = this registry's own process, else the
+    #: real pid of the worker the span was stitched in from
+    #: (:mod:`repro.telemetry.remote`).
+    pid: int = 0
 
 
 class _NullSpan:
@@ -117,6 +121,10 @@ class Telemetry:
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
         self.events: List[Dict[str, Any]] = []
+        #: pid -> process name, for spans stitched in from worker
+        #: processes (:mod:`repro.telemetry.remote`); exporters use it
+        #: to label per-process tracks.
+        self.remote_processes: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -137,6 +145,7 @@ class Telemetry:
             self.gauges = {}
             self.histograms = {}
             self.events = []
+            self.remote_processes = {}
         # per-thread stacks restart lazily; only this thread's can be
         # cleared here, which is enough for the sequential pipeline
         self._local.stack = []

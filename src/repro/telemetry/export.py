@@ -23,6 +23,7 @@ registry:
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.resilience.atomicio import atomic_write_text
@@ -38,36 +39,65 @@ STATS_SCHEMA = "repro.telemetry.stats/2"
 # ----------------------------------------------------------------------
 def chrome_trace(telemetry: Telemetry,
                  process_name: str = "repro") -> List[Dict[str, Any]]:
-    """The registry's spans as a list of Chrome ``trace_event`` dicts."""
-    events: List[Dict[str, Any]] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "tid": 0,
-            "args": {"name": process_name},
-        }
-    ]
-    # One thread_name metadata event per distinct track, so the
-    # chrome://tracing / Perfetto timeline shows readable labels
-    # instead of raw thread idents.  The first-seen thread is the one
-    # that opened the first span — the pipeline's main thread.
-    threads: List[int] = []
+    """The registry's spans as a list of Chrome ``trace_event`` dicts.
+
+    A span with ``pid == 0`` belongs to this registry's own process; a
+    non-zero pid is a worker span stitched in by
+    :mod:`repro.telemetry.remote`, laid out on its own named process
+    track (the label comes from ``telemetry.remote_processes``).  The
+    first metadata row is always the local ``process_name`` row.
+    """
+    local_pid = os.getpid()
+
+    def pid_of(record: SpanRecord) -> int:
+        return getattr(record, "pid", 0) or local_pid
+
+    # Discovery order: the local process first, then remote pids as
+    # their first span appears — stable because merge order is stable.
+    pids: List[int] = [local_pid]
+    threads: Dict[int, List[int]] = {local_pid: []}
     for record in telemetry.spans:
-        if record.thread not in threads:
-            threads.append(record.thread)
-    for index, thread in enumerate(threads):
+        pid = pid_of(record)
+        if pid not in threads:
+            pids.append(pid)
+            threads[pid] = []
+        if record.thread not in threads[pid]:
+            threads[pid].append(record.thread)
+
+    events: List[Dict[str, Any]] = []
+    for pid in pids:
+        label = (process_name if pid == local_pid
+                 else telemetry.remote_processes.get(pid, "worker"))
         events.append(
             {
-                "name": "thread_name",
+                "name": "process_name",
                 "ph": "M",
-                "pid": 1,
-                "tid": thread,
-                "args": {
-                    "name": "main" if index == 0 else f"worker-{index}",
-                },
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
             }
         )
+    # One thread_name metadata event per distinct (pid, thread) track,
+    # so the chrome://tracing / Perfetto timeline shows readable labels
+    # instead of raw thread idents.  In the local process, the
+    # first-seen thread is the one that opened the first span — the
+    # pipeline's main thread.  Worker processes are single-threaded
+    # miners: their track is simply "mine".
+    for pid in pids:
+        for index, thread in enumerate(threads[pid]):
+            if pid == local_pid:
+                name = "main" if index == 0 else f"worker-{index}"
+            else:
+                name = "mine" if index == 0 else f"mine-{index}"
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": thread,
+                    "args": {"name": name},
+                }
+            )
     for record in telemetry.spans:
         event = {
             "name": record.name,
@@ -75,7 +105,7 @@ def chrome_trace(telemetry: Telemetry,
             "ph": "X",
             "ts": round(record.start * 1e6, 3),
             "dur": round(record.duration * 1e6, 3),
-            "pid": 1,
+            "pid": pid_of(record),
             "tid": record.thread,
         }
         if record.args:

@@ -1,0 +1,350 @@
+"""Live progress: a cross-process heartbeat/event bus.
+
+Three consumers hang off one event stream (schema
+``repro.telemetry.events/1``), all off by default and all purely
+observational:
+
+* a live TTY status line (``pa --progress``) — one ``\\r``-rewritten
+  stderr line with round / shard / cache / node / savings state;
+* a JSONL event stream (``--events-out FILE``) — the machine-readable
+  live feed the ROADMAP's PA-as-a-service item needs; the first record
+  is a ``stream.begin`` carrying the schema tag;
+* a straggler watchdog — shards whose heartbeats go stale past
+  ``stall_after`` seconds are flagged once as ``shard.stalled`` events
+  and counted, feeding the governor's degradation notes and the
+  ``profile`` imbalance table.
+
+Topology: the parent process owns a :class:`ProgressBus`; worker
+children publish onto a ``multiprocessing.Queue`` handed to them
+through the pool initializer (queues cannot cross ``apply_async``
+arguments), and the parent drains it in its poll loop.  The in-process
+(``workers=1``) path publishes straight onto the bus.  Module-level
+routing state keeps the publish hooks near-free when nothing is
+attached — the common case, and the reason a disabled run stays
+bit-identical.
+
+Failure containment: the ``scale.progress`` fault point fires inside
+:meth:`ProgressBus.dispatch` and queue creation; *any* exception there
+marks the bus broken and detaches it — mining must never hang or die
+because its progress feed did (see the chaos matrix).  A worker whose
+queue put fails silently detaches itself and keeps mining.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import queue as _queuelib
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.resilience.faultinject import fault
+
+#: Version tag of the JSONL event stream.  Consumers must ignore
+#: unknown event kinds and unknown fields.
+EVENTS_SCHEMA = "repro.telemetry.events/1"
+
+#: Heartbeats from a hot loop are rate-limited to one per this many
+#: seconds per process (publishes from distinct kinds are never
+#: limited).
+HEARTBEAT_INTERVAL = 0.25
+
+#: Default seconds without a heartbeat before a shard counts as stalled.
+STALL_AFTER = 30.0
+
+#: TTY status line refresh interval (seconds).
+_RENDER_INTERVAL = 0.05
+
+# ----------------------------------------------------------------------
+# module-level routing: parent bus OR worker queue, never both
+# ----------------------------------------------------------------------
+_BUS: Optional["ProgressBus"] = None
+_WORKER_QUEUE = None
+_NEXT_BEAT = 0.0
+
+
+def active() -> Optional["ProgressBus"]:
+    """The bus the current process publishes to, if any."""
+    return _BUS
+
+
+@contextlib.contextmanager
+def activate(bus: Optional["ProgressBus"]):
+    """Route this process's :func:`publish` calls to *bus* for the
+    duration of the block (None deactivates; previous routing is
+    restored on exit)."""
+    global _BUS
+    previous = _BUS
+    _BUS = bus
+    try:
+        yield bus
+    finally:
+        _BUS = previous
+
+
+def worker_attach(q) -> None:
+    """Called in a pool child: route publishes to the parent's queue.
+
+    Also clears any bus inherited through ``fork`` — a child must never
+    write the parent's TTY or JSONL stream directly.
+    """
+    global _BUS, _WORKER_QUEUE, _NEXT_BEAT
+    _BUS = None
+    _WORKER_QUEUE = q
+    _NEXT_BEAT = 0.0
+
+
+def publish(kind: str, **fields) -> None:
+    """Emit one progress event; near-free when nothing is attached."""
+    global _WORKER_QUEUE
+    if _WORKER_QUEUE is None and _BUS is None:
+        return
+    event: Dict[str, Any] = {
+        "kind": kind,
+        "ts": round(time.time(), 6),
+        "pid": os.getpid(),
+    }
+    event.update(fields)
+    if _WORKER_QUEUE is not None:
+        try:
+            _WORKER_QUEUE.put_nowait(event)
+        except Exception:
+            # A broken/full pipe must never take mining down: detach
+            # and mine on silently (the parent's watchdog will notice
+            # the silence as a stall, which is the honest signal).
+            _WORKER_QUEUE = None
+    else:
+        _BUS.dispatch(event)
+
+
+def heartbeat(kind: str = "heartbeat", **fields) -> None:
+    """Rate-limited :func:`publish` for hot loops (shard mining)."""
+    global _NEXT_BEAT
+    if _WORKER_QUEUE is None and _BUS is None:
+        return
+    now = time.monotonic()
+    if now < _NEXT_BEAT:
+        return
+    _NEXT_BEAT = now + HEARTBEAT_INTERVAL
+    publish(kind, **fields)
+
+
+# ----------------------------------------------------------------------
+# the parent-side bus
+# ----------------------------------------------------------------------
+class ProgressBus:
+    """Parent-side sink: JSONL stream, TTY line, straggler tracking."""
+
+    def __init__(self, tty=None, events_path: Optional[str] = None,
+                 stall_after: float = STALL_AFTER):
+        self.tty = tty
+        self.events_path = events_path
+        self.stall_after = stall_after
+        self.broken = False
+        self.counts: Dict[str, int] = {}
+        #: shard index -> monotonic time of its last sign of life
+        self.inflight: Dict[int, float] = {}
+        self.stalled: set = set()
+        self.status: Dict[str, Any] = {
+            "round": None, "shards": 0, "done": 0, "cache_hits": 0,
+            "saved": 0, "nodes": 0,
+        }
+        self._nodes_by_shard: Dict[int, int] = {}
+        self._handle = None
+        self._queue = None
+        self._last_render = 0.0
+        if events_path:
+            try:
+                self._handle = open(events_path, "w")
+            except OSError as exc:
+                self._break(exc)
+                return
+        self.dispatch({
+            "kind": "stream.begin",
+            "schema": EVENTS_SCHEMA,
+            "ts": round(time.time(), 6),
+            "pid": os.getpid(),
+        })
+
+    # ------------------------------------------------------------------
+    def worker_queue(self):
+        """The mp queue pool children should publish to (lazy), or
+        None when the bus is broken."""
+        if self.broken:
+            return None
+        if self._queue is None:
+            try:
+                fault("scale.progress")
+                import multiprocessing
+
+                self._queue = multiprocessing.Queue()
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                self._break(exc)
+                return None
+        return self._queue
+
+    def drain(self) -> None:
+        """Dispatch every event queued by workers (non-blocking)."""
+        if self._queue is None or self.broken:
+            return
+        while True:
+            try:
+                event = self._queue.get_nowait()
+            except _queuelib.Empty:
+                return
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                self._break(exc)
+                return
+            self.dispatch(event)
+
+    def dispatch(self, event: Dict[str, Any]) -> None:
+        """Track, stream and render one event; never raises
+        (``KeyboardInterrupt`` excepted — anytime semantics win)."""
+        if self.broken:
+            return
+        try:
+            fault("scale.progress")
+            self._track(event)
+            if self._handle is not None:
+                self._handle.write(json.dumps(event) + "\n")
+                self._handle.flush()
+            if self.tty is not None:
+                self._render()
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            self._break(exc)
+
+    def stragglers(self) -> List[int]:
+        """Newly stale in-flight shards (flagged once each).
+
+        Emits one ``shard.stalled`` event per new straggler and
+        remembers it; a later heartbeat does not un-flag (the point is
+        "this shard went dark for stall_after seconds at least once").
+        """
+        now = time.monotonic()
+        fresh = [
+            shard for shard, last in self.inflight.items()
+            if shard not in self.stalled
+            and now - last > self.stall_after
+        ]
+        for shard in fresh:
+            self.stalled.add(shard)
+            self.dispatch({
+                "kind": "shard.stalled",
+                "ts": round(time.time(), 6),
+                "pid": os.getpid(),
+                "shard": shard,
+                "stalled_seconds": round(now - self.inflight[shard], 3),
+            })
+        return fresh
+
+    def close(self) -> None:
+        """Finish the TTY line, close the stream, drop the queue."""
+        if self.tty is not None and not self.broken:
+            try:
+                self.tty.write("\n")
+                self.tty.flush()
+            except Exception:
+                pass
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except Exception:
+                pass
+            self._handle = None
+        if self._queue is not None:
+            try:
+                self._queue.close()
+            except Exception:
+                pass
+            self._queue = None
+
+    # ------------------------------------------------------------------
+    def _break(self, exc: BaseException) -> None:
+        """Degrade: mark broken, release resources, warn once."""
+        self.broken = True
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except Exception:
+                pass
+            self._handle = None
+        print(f"warning: progress stream disabled ({exc})",
+              file=sys.stderr)
+
+    def _track(self, event: Dict[str, Any]) -> None:
+        kind = event.get("kind", "?")
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        status = self.status
+        shard = event.get("shard")
+        now = time.monotonic()
+        if kind == "round.start":
+            status["round"] = event.get("round")
+            status["shards"] = 0
+            status["done"] = 0
+        elif kind == "round.shards":
+            status["shards"] = event.get("shards", 0)
+            status["cache_hits"] += event.get("cached", 0)
+            status["done"] = event.get("cached", 0)
+        elif kind == "shard.start" and shard is not None:
+            self.inflight[shard] = now
+        elif kind == "heartbeat" and shard is not None:
+            if shard in self.inflight:
+                self.inflight[shard] = now
+            nodes = event.get("lattice_nodes")
+            if nodes is not None:
+                self._nodes_by_shard[shard] = nodes
+                status["nodes"] = sum(self._nodes_by_shard.values())
+        elif kind == "shard.done" and shard is not None:
+            self.inflight.pop(shard, None)
+            status["done"] += 1
+            nodes = event.get("lattice_nodes")
+            if nodes is not None:
+                self._nodes_by_shard[shard] = nodes
+                status["nodes"] = sum(self._nodes_by_shard.values())
+        elif kind == "round.done":
+            status["saved"] += event.get("saved", 0)
+            self._nodes_by_shard.clear()
+            self.inflight.clear()
+
+    def _render(self) -> None:
+        now = time.monotonic()
+        if now - self._last_render < _RENDER_INTERVAL:
+            return
+        self._last_render = now
+        s = self.status
+        parts = []
+        if s["round"] is not None:
+            parts.append(f"round {s['round']}")
+        if s["shards"]:
+            parts.append(f"shards {s['done']}/{s['shards']}")
+        if s["cache_hits"]:
+            parts.append(f"cache {s['cache_hits']} hit")
+        if s["nodes"]:
+            parts.append(f"{s['nodes']} nodes")
+        parts.append(f"saved {s['saved']}")
+        if self.stalled:
+            parts.append(f"stalled {len(self.stalled)}")
+        line = "[pa] " + " | ".join(parts)
+        self.tty.write("\r" + line[:118].ljust(118))
+        self.tty.flush()
+
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "HEARTBEAT_INTERVAL",
+    "STALL_AFTER",
+    "ProgressBus",
+    "activate",
+    "active",
+    "heartbeat",
+    "publish",
+    "worker_attach",
+]
