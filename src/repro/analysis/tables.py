@@ -8,9 +8,8 @@ compared side by side (EXPERIMENTS.md records both).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
-from repro.dfg.graph import DFG
 from repro.dfg.stats import DegreeHistogram, FanoutSummary
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
-from repro.isa.assembler import AsmModule, DataWord, Item, Label
+from repro.isa.assembler import AsmModule, DataWord, Label
 from repro.isa.instructions import Instruction
 from repro.isa.operands import LabelRef
 

@@ -8,11 +8,11 @@ reachability-based statistics, and as the substrate for the future-work
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 import networkx as nx
 
-from repro.binary.program import Function, Module
+from repro.binary.program import Function
 
 
 def build_cfg(func: Function) -> "nx.DiGraph":

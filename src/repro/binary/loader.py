@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Set
 from repro.isa.assembler import AsmModule, DataWord, Label
 from repro.isa.decoder import DecodingError, decode
 from repro.isa.instructions import Instruction
-from repro.isa.operands import Imm, LabelRef
+from repro.isa.operands import LabelRef
 
 from repro.binary.blocks import module_from_asm
 from repro.binary.image import Image
@@ -50,7 +50,8 @@ class LoaderError(ReproError, ValueError):
 def load_image(image: Image) -> Module:
     """Decompile *image* into a structured, rewritable :class:`Module`."""
     n = len(image.text)
-    addr_of = lambda i: image.text_base + 4 * i  # noqa: E731
+    def addr_of(i: int) -> int:
+        return image.text_base + 4 * i
 
     decoded: List[Optional[Instruction]] = []
     for i, word in enumerate(image.text):

@@ -11,7 +11,7 @@ instructions nor offered to the abstraction engine (paper §2.1 step 5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, List, Union
 
 from repro.isa.instructions import Instruction
 from repro.isa.operands import Imm, LabelRef, Mem

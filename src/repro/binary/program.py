@@ -14,9 +14,9 @@ address arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Set
 
-from repro.isa.assembler import AsmModule, DataSpace, DataWord, Item, Label
+from repro.isa.assembler import AsmModule, Item, Label
 from repro.isa.instructions import Instruction
 
 

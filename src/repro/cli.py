@@ -5,8 +5,13 @@ Commands
 ``compile``   mini-C source -> assembly listing
 ``run``       compile (or assemble) and execute on the simulator
 ``pa``        run procedural abstraction on a program and report savings
+``audit``     abstract-interpretation audit: per-function stack/value
+              invariants and proven site-level events (exit 1 on a
+              miscompile-class fact; ``--json`` emits schema
+              ``repro.verify.audit/1``)
 ``lint``      check a program against the module invariants (exit 1 on
-              error findings; ``--json`` for the CI-consumable report)
+              error findings; ``--json`` for the CI-consumable report,
+              schema ``repro.verify.lint/2``)
 ``table1``    regenerate the paper's Table 1 on the bundled workloads
 ``stats``     DFG fan statistics for a program (Tables 2/3 style)
 ``profile``   run a workload under telemetry and print the phase tree
@@ -19,6 +24,14 @@ Commands
 symbolic block equivalence, see :mod:`repro.verify.validate`) and exits
 with code 2 when a round cannot be proven equivalent; the counterexample
 lands in the decision ledger (``--ledger-out``).
+
+``pa --sanitize`` (also ``variance --sanitize``) runs the before/after
+simulations under the stack sanitizer (:mod:`repro.sim.sanitize`) —
+shadow call stack, saved-lr protection, stack-init tracking — and exits
+2 (``pa``) / fails the variant oracle (``variance``) when the
+abstracted program trips finding kinds its original does not.  The
+sanitizer is a passive observer: sanitized runs are bit-identical to
+plain ones, so the flag is free until a counterexample fires.
 
 ``pa``, ``table1`` and ``profile`` accept ``--trace-out FILE`` (Chrome
 ``trace_event`` JSON, viewable in ``chrome://tracing`` / Perfetto) and
@@ -105,8 +118,10 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.errors import EXIT_INTERNAL, EXIT_INTERRUPT, ReproError
 from repro.sim.machine import run_image
+from repro.sim.sanitize import Sanitizer, counterexample_kinds
 from repro.variance.genprog import GenConfig, generate_source, sized_config
 from repro.variance.harness import VarianceConfig, run_variance
+from repro.verify.absint import AUDIT_SCHEMA, audit_module
 from repro.verify.lint import Severity, lint_module
 from repro.verify.validate import TranslationValidationError
 from repro.workloads import PROGRAMS, compile_workload, verify_workload
@@ -142,7 +157,7 @@ def _load_source(source: str, assembly: bool) -> Module:
 # ----------------------------------------------------------------------
 #: args attributes that name output files (checked before the run)
 _OUTPUT_ATTRS = ("trace_out", "stats_out", "json", "report", "ledger_out",
-                 "events_out", "metrics_out")
+                 "events_out", "metrics_out", "output", "image_out")
 
 
 def _add_telemetry_args(parser) -> None:
@@ -356,6 +371,7 @@ def _compile_config_from_args(args) -> CompileConfig:
 
 
 def cmd_compile(args) -> int:
+    _check_output_paths(args)
     with open(args.source) as handle:
         source = handle.read()
     config = _compile_config_from_args(args)
@@ -441,7 +457,12 @@ def cmd_pa(args) -> int:
             workers=args.workers,
             fragment_cache=args.fragment_cache,
         )
-    reference = run_image(layout(module), max_steps=args.max_steps)
+    # The sanitizer is a passive observer: sanitized runs remain
+    # bit-identical to plain ones, so running the oracle pair under it
+    # changes nothing unless a counterexample fires.
+    ref_sanitizer = Sanitizer() if args.sanitize else None
+    reference = run_image(layout(module), max_steps=args.max_steps,
+                          sanitizer=ref_sanitizer)
     before = module.num_instructions
     try:
         with _progress_scope(args), \
@@ -464,11 +485,41 @@ def cmd_pa(args) -> int:
         if traced:
             _telemetry_finish(args)
         return 2
-    after = run_image(layout(module), max_steps=args.max_steps)
+    after_sanitizer = Sanitizer() if args.sanitize else None
+    after = run_image(layout(module), max_steps=args.max_steps,
+                      sanitizer=after_sanitizer)
+    if args.sanitize:
+        new_kinds = counterexample_kinds(ref_sanitizer, after_sanitizer)
+        if new_kinds:
+            print("SANITIZER FAILED: the abstracted program trips "
+                  f"{', '.join(sorted(new_kinds))} that the original "
+                  "does not", file=sys.stderr)
+            for finding in after_sanitizer.findings:
+                if finding.kind in new_kinds:
+                    print(f"  [{finding.kind}] pc={finding.pc:#x}: "
+                          f"{finding.detail}", file=sys.stderr)
+            if ledgered:
+                ledger.emit(
+                    "sanitize.counterexample",
+                    kinds=sorted(new_kinds),
+                    findings=[f.to_dict()
+                              for f in after_sanitizer.findings
+                              if f.kind in new_kinds],
+                )
+                _ledger_finish(
+                    args,
+                    title=f"PA run report — {args.source} "
+                          f"({args.engine})",
+                )
+            if traced:
+                _telemetry_finish(args)
+            return 2
     status = "OK" if (after.output, after.exit_code) == (
         reference.output, reference.exit_code) else "BEHAVIOUR CHANGED!"
     if args.verify and status == "OK":
         status = "OK, verified"
+    if args.sanitize and status.startswith("OK"):
+        status += ", sanitized"
     print(f"{args.engine}: {before} -> {module.num_instructions} "
           f"instructions (saved {result.saved}) in {result.rounds} rounds "
           f"[{status}]")
@@ -503,6 +554,66 @@ def cmd_pa(args) -> int:
     if traced:
         _telemetry_finish(args)
     return 0 if status.startswith("OK") else 1
+
+
+def cmd_audit(args) -> int:
+    """Abstract-interpretation audit: per-function invariant dump.
+
+    Exit 1 when the interpreter proves a miscompile-class fact
+    (a clobbered saved return address or an unbalanced stack merge);
+    warnings — caller-frame addressing, uninit reads, unbounded
+    growth — report but do not fail, since outlined helpers exhibit
+    them legitimately.
+    """
+    if args.json_out and args.json_out != "-":
+        directory = os.path.dirname(args.json_out) or "."
+        if not os.path.isdir(directory):
+            sys.exit("error: output directory does not exist: "
+                     f"{args.json_out}")
+        if os.path.exists(args.json_out) and not args.force:
+            sys.exit(f"error: refusing to overwrite {args.json_out} "
+                     "(use --force)")
+    traced = _telemetry_begin(args)
+    module = _load_source(args.source, args.assembly)
+    result = audit_module(module)
+    payload = result.to_payload(source=args.source)
+
+    if args.json_out == "-":
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    elif args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    else:
+        errors = payload["counts"]["errors"]
+        print(f"audit: {len(result.summaries)} functions, "
+              f"{result.iterations} summary iterations, "
+              f"{len(result.events)} events ({errors} errors)")
+        for name, facts in payload["functions"].items():
+            net = facts["net_delta"]
+            height = "known" if facts["height_known"] else "LOST"
+            bits = [f"net={'?' if net is None else net}",
+                    f"height={height}",
+                    f"max_height={facts['max_height']}"]
+            if facts["retaddr_slots"]:
+                bits.append(f"saved_lr@{facts['retaddr_slots']}")
+            if facts["caller_reads"]:
+                bits.append(f"caller_reads={facts['caller_reads']}")
+            if facts["caller_writes"]:
+                bits.append(f"caller_writes={facts['caller_writes']}")
+            bits.append("fragile=" +
+                        ("YES" if facts["fragile"] else "no"))
+            print(f"  {name}: " + " ".join(bits))
+        for event in result.events:
+            where = f"{event.function}, block {event.block}"
+            if event.insn is not None:
+                where += f", insn {event.insn}"
+            print(f"  [{event.kind}] {where}: {event.detail}")
+    if traced:
+        _telemetry_finish(args)
+    return 0 if payload["ok"] else 1
 
 
 def cmd_lint(args) -> int:
@@ -703,6 +814,7 @@ def cmd_variance(args) -> int:
         time_budget=args.time_budget,
         verify=args.verify,
         max_steps=args.max_steps,
+        sanitize=args.sanitize,
     )
     with ledger.GLOBAL.context(source=source_name):
         report = run_variance(source, config, source_name=source_name)
@@ -790,6 +902,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--image-out", metavar="FILE",
                    help="link and write a runnable binary image "
                         "(.img) instead of printing assembly")
+    p.add_argument("--force", action="store_true",
+                   help="overwrite existing output files")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="compile/assemble and execute")
@@ -814,6 +928,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="translation-validate every round; exit 2 on a "
                         "counterexample")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run the before/after simulations under the "
+                        "stack sanitizer (shadow call stack, saved-lr "
+                        "protection, init tracking); exit 2 when the "
+                        "abstracted program trips finding kinds the "
+                        "original does not.  Off by default; sanitized "
+                        "runs are bit-identical to plain ones")
     p.add_argument("--verify-max-retries", type=int, default=3,
                    metavar="N",
                    help="verify-failure recovery attempts per round "
@@ -838,6 +959,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_pa)
 
     p = sub.add_parser(
+        "audit",
+        help="abstract-interpretation audit: per-function stack/value "
+             "invariants",
+        description="Run the interprocedural abstract interpreter and "
+                    "dump each function's proven invariants (net stack "
+                    "delta, tracked height, saved-lr slots, "
+                    "caller-frame accesses, fragility) plus every "
+                    "site-level event.  Exits 1 when a "
+                    "miscompile-class fact is proven (clobbered saved "
+                    "return address, unbalanced stack merge).  "
+                    f"--json emits the schema {AUDIT_SCHEMA}.",
+    )
+    p.add_argument("source", help="workload name or source path")
+    p.add_argument("--assembly", action="store_true",
+                   help="treat the input as assembly, not mini-C")
+    p.add_argument("--json", dest="json_out", nargs="?", const="-",
+                   metavar="FILE",
+                   help=f"write the {AUDIT_SCHEMA} payload as JSON "
+                        "(bare --json prints to stdout)")
+    _add_telemetry_args(p)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
         "lint",
         help="check a program against the module invariants",
     )
@@ -846,7 +990,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="treat the input as assembly, not mini-C")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON (schema "
-                        "repro.verify.lint/1)")
+                        "repro.verify.lint/2)")
     p.add_argument("--min-severity", choices=("info", "warning", "error"),
                    default="info",
                    help="drop findings below this severity")
@@ -939,6 +1083,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="translation-validate every abstraction round "
                         "on every variant")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run every oracle simulation under the stack "
+                        "sanitizer; new finding kinds on an abstracted "
+                        "build fail that variant's oracle")
     p.add_argument("--min-overlap", type=float, default=None,
                    metavar="J",
                    help="exit 1 when the mean pairwise fragment "

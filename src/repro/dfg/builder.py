@@ -23,11 +23,11 @@ is acyclic by construction.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.isa.instructions import Instruction
 
-from repro.binary.program import BasicBlock, Function, Module
+from repro.binary.program import BasicBlock, Module
 from repro.dfg.graph import DFG, Edge, MINED_KINDS
 from repro.telemetry import GLOBAL as _TELEMETRY
 

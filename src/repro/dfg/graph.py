@@ -9,7 +9,7 @@ both the collision detection and the extraction phase rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 

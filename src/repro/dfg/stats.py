@@ -11,7 +11,7 @@ fan-in or fan-out greater than one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import FrozenSet, Iterable, Tuple
 
 from repro.dfg.graph import DFG, MINED_KINDS
 

@@ -17,7 +17,7 @@ from repro.isa.instructions import (
     CONDITIONS,
     Instruction,
 )
-from repro.isa.operands import SHIFT_OPS, Imm, LabelRef, Mem, Reg, RegList, ShiftedReg
+from repro.isa.operands import SHIFT_OPS, Imm, LabelRef, Reg, ShiftedReg
 from repro.isa.registers import SP
 
 

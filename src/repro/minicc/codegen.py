@@ -24,7 +24,7 @@ Conventions
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.isa.assembler import AsmModule, DataSpace, DataWord, Label
@@ -34,7 +34,7 @@ from repro.isa.operands import Imm, LabelRef, Mem, Reg, RegList, ShiftedReg
 from repro.isa.registers import LR, PC, SP
 
 from repro.minicc import ast
-from repro.minicc.sema import INTRINSICS, FuncInfo, SemaInfo
+from repro.minicc.sema import FuncInfo, SemaInfo
 
 
 class CodegenError(ValueError):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import List
 
 KEYWORDS = frozenset(
     {"int", "if", "else", "while", "for", "return", "break", "continue"}

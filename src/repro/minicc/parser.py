@@ -13,7 +13,7 @@ Grammar (precedence climbing for expressions, C-like levels)::
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List
 
 from repro.minicc import ast
 from repro.minicc.lexer import Token, tokenize

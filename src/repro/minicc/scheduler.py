@@ -17,7 +17,7 @@ instruction sequences: exactly the blindness suffix tries suffer from.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List
 
 from repro.isa.assembler import AsmModule, Label
 from repro.isa.instructions import Instruction

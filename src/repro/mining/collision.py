@@ -10,7 +10,7 @@ paper adopts).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.mining.embeddings import Embedding
 from repro.telemetry import GLOBAL as _TELEMETRY

@@ -25,7 +25,7 @@ from repro.dfg.graph import DFG
 from repro.mining.collision import build_collision_graph
 from repro.mining.dfs_code import DFSCode
 from repro.mining.embeddings import Embedding, dedupe_by_node_set
-from repro.mining.gspan import DgSpan, Fragment, MiningDB
+from repro.mining.gspan import DgSpan, MiningDB
 from repro.mining.mis import max_independent_set
 from repro.mining.pruning import is_permanently_illegal, never_convex_within
 from repro.resilience.faultinject import fault

@@ -14,7 +14,7 @@ Edgar (:mod:`repro.mining.edgar`).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dfg.graph import DFG
@@ -391,7 +391,7 @@ class DgSpan:
     def _fragment(
         self, db: MiningDB, code: DFSCode, embeddings: List[Embedding]
     ) -> Fragment:
-        labels = [db.label_str(l) for l in node_labels_of(code)]
+        labels = [db.label_str(lab) for lab in node_labels_of(code)]
         edges = [
             (s, d, db.kind_str(k)) for (s, d, k) in graph_edges_of(code)
         ]

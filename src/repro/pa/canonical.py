@@ -15,7 +15,7 @@ on what fuzzy matching could save (benched in
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.isa.instructions import Instruction
 from repro.isa.operands import Imm, LabelRef, Mem, Reg, RegList, ShiftedReg

@@ -27,10 +27,10 @@ outlined:
 from __future__ import annotations
 
 import enum
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import FrozenSet, Iterable, List, Optional, Sequence
 
 from repro.isa.instructions import Instruction
-from repro.isa.operands import Imm, LabelRef, Reg
+from repro.isa.operands import LabelRef
 from repro.isa.registers import LR, PC, SP
 
 from repro.dfg.graph import DFG
@@ -38,6 +38,7 @@ from repro.mining.embeddings import Embedding
 from repro.mining.gspan import Fragment
 from repro.mining.pruning import is_convex
 from repro.report.ledger import GLOBAL as _LEDGER
+from repro.verify.absint import module_summaries
 
 
 class ExtractionMethod(enum.Enum):
@@ -71,24 +72,6 @@ def _call_target(insn: Instruction) -> Optional[str]:
     return None
 
 
-def _static_sp_delta(insn: Instruction) -> Optional[int]:
-    """Bytes this instruction statically moves ``sp`` by, None if unknown."""
-    m, ops = insn.mnemonic, insn.operands
-    if m == "push":
-        return -4 * len(ops[0].regs)
-    if m == "pop":
-        return 4 * len(ops[0].regs)
-    if (
-        m in ("add", "sub")
-        and len(ops) == 3
-        and ops[0] == Reg(SP)
-        and ops[1] == Reg(SP)
-        and isinstance(ops[2], Imm)
-    ):
-        return ops[2].value if m == "add" else -ops[2].value
-    return None
-
-
 def sp_fragile_functions(module) -> FrozenSet[str]:
     """Names of functions whose correctness depends on the caller's ``sp``.
 
@@ -104,41 +87,33 @@ def sp_fragile_functions(module) -> FrozenSet[str]:
     so a later extraction round must never wrap one of its call sites
     in a ``push {lr}`` / ``pop {pc}`` bracket.
 
-    A function is flagged when any ``sp`` write is not statically
-    accountable, when the static deltas do not sum to zero, or when it
-    reads ``sp`` without opening with a ``push`` prologue (a function
-    that allocates before addressing only ever reaches its own frame;
-    one that reads first is reaching into the caller's).  The delta sum
-    ignores control flow, which is exact for the single-epilogue
-    functions this pipeline produces and at worst over-flags a
-    multi-epilogue hand-written one (costing an extraction, never
-    soundness).
+    The verdict comes from the abstract interpreter
+    (:func:`repro.verify.absint.module_summaries`), not the earlier
+    pattern heuristics: a function is fragile when its *proven* facts
+    say so — its stack height cannot be tracked to a known value
+    everywhere (``height_known`` false), its returns leave a non-zero
+    (or unknown) net stack delta, or it provably reads or writes memory
+    at depths at or above its entry ``sp`` (its caller's frame),
+    directly or transitively through a fragile callee.  Each fragile
+    function's evidence is recorded in the decision ledger as a
+    ``legality.sp_fragile`` record.
     """
-    fragile = set()
-    for func in module.functions:
-        reads_sp = unknown = False
-        first_touch = None
-        net = 0
-        for block in func.blocks:
-            for insn in block.instructions:
-                if insn.is_call:
-                    continue  # conservative callee model, not a real use
-                writes = SP in insn.regs_written()
-                reads = SP in insn.regs_read() and insn.mnemonic not in (
-                    "push", "pop"
-                )
-                if (writes or reads) and first_touch is None:
-                    first_touch = insn.mnemonic
-                if writes:
-                    delta = _static_sp_delta(insn)
-                    if delta is None:
-                        unknown = True
-                    else:
-                        net += delta
-                if reads:
-                    reads_sp = True
-        if unknown or net != 0 or (reads_sp and first_touch != "push"):
-            fragile.add(func.name)
+    summaries = module_summaries(module)
+    fragile = {
+        name for name, summary in summaries.items() if summary.fragile
+    }
+    if _LEDGER.enabled:
+        for name in sorted(fragile):
+            summary = summaries[name]
+            _LEDGER.emit(
+                "legality.sp_fragile",
+                function=name,
+                net_delta=summary.net_delta,
+                height_known=summary.height_known,
+                caller_reads=list(summary.caller_reads),
+                caller_writes=list(summary.caller_writes),
+                has_negative_height=summary.has_negative_height,
+            )
     return frozenset(fragile)
 
 

@@ -15,7 +15,7 @@ provides the same structure as data for programmatic consumers.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 #: Graphviz edge attributes per dependence kind (see ``repro.dfg.graph``:
 #: d = data flow, m = memory order, f = flag flow, a = anti, o = output).

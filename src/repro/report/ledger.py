@@ -86,7 +86,7 @@ run.end    driver — rounds, saved instructions, elapsed seconds, and
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, List
 
 from repro.resilience.atomicio import atomic_write_text
 from repro.resilience.faultinject import fault

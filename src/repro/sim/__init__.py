@@ -7,5 +7,20 @@ and assert identical observable behaviour (exit code and output stream).
 """
 
 from repro.sim.machine import ExecutionError, Machine, RunResult, run_image
+from repro.sim.sanitize import (
+    Sanitizer,
+    SanitizerFinding,
+    counterexample_kinds,
+    run_sanitized,
+)
 
-__all__ = ["Machine", "RunResult", "run_image", "ExecutionError"]
+__all__ = [
+    "Machine",
+    "RunResult",
+    "run_image",
+    "ExecutionError",
+    "Sanitizer",
+    "SanitizerFinding",
+    "counterexample_kinds",
+    "run_sanitized",
+]

@@ -62,7 +62,8 @@ class RunResult:
 class Machine:
     """An ARM-subset machine executing a statically linked image."""
 
-    def __init__(self, image: Image, max_steps: int = 50_000_000):
+    def __init__(self, image: Image, max_steps: int = 50_000_000,
+                 sanitizer: Optional[object] = None):
         self.image = image
         self.max_steps = max_steps
         self.memory = Memory()
@@ -78,10 +79,19 @@ class Machine:
             STACK_TOP,
             (max(image.text_end, image.data_end) + 0x40000) & ~0xFFF,
         )
+        self.stack_top = stack_top
         self.cpu.regs[SP] = stack_top
         self.cpu.regs[LR] = EXIT_SENTINEL
         self.output = bytearray()
         self._decode_cache: Dict[int, Instruction] = {}
+        # A sanitizer is a passive pre-step observer (see
+        # repro.sim.sanitize); None keeps the fetch loop branch-cheap
+        # and the run's behaviour byte-identical either way.
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.attach(
+                stack_top, floor=max(image.text_end, image.data_end)
+            )
 
     # ------------------------------------------------------------------
     def _syscall(self, number: int, cpu: CPU) -> None:
@@ -111,6 +121,7 @@ class Machine:
     def run(self) -> RunResult:
         """Run the program to completion and return its behaviour."""
         cpu = self.cpu
+        sanitizer = self.sanitizer
         steps = 0
         try:
             while True:
@@ -120,6 +131,8 @@ class Machine:
                 if pc % 4:
                     raise ExecutionError(f"unaligned pc: {pc:#x}")
                 insn = self._fetch(pc)
+                if sanitizer is not None:
+                    sanitizer.observe(insn, cpu)
                 try:
                     cpu.step(insn)
                 except CPUError as exc:
@@ -136,7 +149,10 @@ class Machine:
             return RunResult(exit_.status, bytes(self.output), steps)
 
 
-def run_image(image: Image, max_steps: int = 50_000_000) -> RunResult:
+def run_image(image: Image, max_steps: int = 50_000_000,
+              sanitizer: Optional[object] = None) -> RunResult:
     """Convenience wrapper: execute *image* and return the result."""
     with _TELEMETRY.span("sim.run"):
-        return Machine(image, max_steps=max_steps).run()
+        return Machine(
+            image, max_steps=max_steps, sanitizer=sanitizer
+        ).run()

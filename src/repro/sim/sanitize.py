@@ -1,0 +1,368 @@
+"""Simulation-time stack sanitizer: the dynamic half of the audit layer.
+
+The abstract interpreter (:mod:`repro.verify.absint`) *proves* stack
+facts; this module *observes* them on a concrete run, so each side
+cross-checks the other.  A :class:`Sanitizer` is a passive pre-step
+observer attached to a :class:`repro.sim.machine.Machine`: it never
+mutates registers, memory or flags, so a sanitized run's observable
+behaviour (exit code, output, step count) is bit-identical to an
+unsanitized one.
+
+Tracked shadow state:
+
+* **Shadow call stack** — every ``bl`` pushes ``(expected return
+  address, sp at the call)``; every return is checked against the top
+  entry.  A return to the wrong address is a ``return-mismatch``; a
+  matching return with a shifted ``sp`` is ``unbalanced-stack``.
+* **Protected return-address words** — ``push`` with ``lr`` in the list
+  marks the word that received the link register; any store that hits a
+  protected word before its frame is popped is a ``retaddr-clobber``
+  (the exact miscompile shape of the sp-fragility bug: a frameless
+  outlined procedure storing through ``sp`` under a later-added
+  ``push {lr}`` bracket).
+* **Shadow init bits** — one bit per stack byte.  Moving ``sp`` *down*
+  allocates (clears the bits: fresh slots hold garbage); moving it *up*
+  deallocates (clears them again: stale data must not be trusted).
+  Loading a never-stored stack byte is an ``uninit-slot-read``,
+  mirroring the static interpreter's UNINIT domain.
+* **Stack bounds** — ``sp`` above its initial value is
+  ``stack-underflow``; more than :data:`STACK_SPAN` below it is
+  ``stack-overflow``.
+
+Findings are deduplicated per ``(kind, pc)`` site and capped, so a hot
+loop reports each defect once.  :func:`counterexample_kinds` implements
+the differential framing used by ``pa --verify --sanitize`` and the
+variance oracle: only finding kinds that appear *after* a
+transformation but not *before* it indict the transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Mem, Reg
+from repro.isa.registers import LR, PC, SP
+
+from repro.binary.image import Image
+from repro.sim.machine import (
+    EXIT_SENTINEL,
+    ExecutionError,
+    Machine,
+    RunResult,
+)
+
+MASK32 = 0xFFFFFFFF
+
+#: Size of the shadowed stack window below the initial ``sp``.
+STACK_SPAN = 1 << 20
+#: Per-run cap on recorded findings (sites, post-dedup).
+MAX_FINDINGS = 256
+
+RETADDR_CLOBBER = "retaddr-clobber"
+RETURN_MISMATCH = "return-mismatch"
+UNBALANCED_STACK = "unbalanced-stack"
+UNINIT_READ = "uninit-slot-read"
+STACK_OVERFLOW = "stack-overflow"
+STACK_UNDERFLOW = "stack-underflow"
+
+
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """One dynamic invariant violation, anchored at an instruction."""
+
+    kind: str
+    pc: int
+    detail: str
+    addr: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pc": self.pc,
+            "detail": self.detail,
+            "addr": self.addr,
+        }
+
+
+class Sanitizer:
+    """Passive shadow-stack/shadow-memory observer for one run."""
+
+    def __init__(self, span: int = STACK_SPAN) -> None:
+        self.span = span
+        self.findings: List[SanitizerFinding] = []
+        self.stack_top = 0
+        self._stack_base = 0
+        self._init = bytearray(0)
+        self._protected: Dict[int, int] = {}
+        self._shadow: List[Tuple[int, int]] = []
+        self._seen: Set[Tuple[str, int]] = set()
+
+    # ------------------------------------------------------------------
+    def attach(self, stack_top: int, floor: int = 0) -> None:
+        """Bind the shadow window to a machine's initial ``sp``.
+
+        *floor* is the end of the loaded image: text/data below it are
+        not stack, so loads there (literal pools, globals) are never
+        init-checked and the window never extends into them.
+        """
+        self.stack_top = stack_top
+        self._stack_base = max(stack_top - self.span, floor)
+        self._init = bytearray(stack_top - self._stack_base)
+        self._protected.clear()
+        self._shadow.clear()
+
+    @property
+    def kinds(self) -> Set[str]:
+        return {f.kind for f in self.findings}
+
+    def _emit(self, kind: str, pc: int, detail: str,
+              addr: Optional[int] = None) -> None:
+        site = (kind, pc)
+        if site in self._seen or len(self.findings) >= MAX_FINDINGS:
+            return
+        self._seen.add(site)
+        self.findings.append(SanitizerFinding(kind, pc, detail, addr))
+
+    # ------------------------------------------------------------------
+    # shadow-memory primitives
+    # ------------------------------------------------------------------
+    def _in_window(self, addr: int) -> bool:
+        return self._stack_base <= addr < self.stack_top
+
+    def _mark_init(self, addr: int, size: int) -> None:
+        for a in range(addr, addr + size):
+            if self._in_window(a):
+                self._init[a - self._stack_base] = 1
+
+    def _clear_init(self, lo: int, hi: int) -> None:
+        for a in range(max(lo, self._stack_base),
+                       min(hi, self.stack_top)):
+            self._init[a - self._stack_base] = 0
+
+    def _check_store(self, addr: int, size: int, pc: int) -> None:
+        word = addr & ~3
+        if word in self._protected:
+            self._emit(
+                RETADDR_CLOBBER, pc,
+                f"store to the saved return address at {word:#x}",
+                addr=word,
+            )
+        self._mark_init(addr, size)
+
+    def _check_load(self, addr: int, size: int, pc: int,
+                    what: str) -> None:
+        if not self._in_window(addr):
+            return
+        for a in range(addr, addr + size):
+            if self._in_window(a) and \
+                    not self._init[a - self._stack_base]:
+                self._emit(
+                    UNINIT_READ, pc,
+                    f"{what} reads never-written stack memory "
+                    f"at {addr:#x}",
+                    addr=addr,
+                )
+                return
+
+    def _move_sp(self, old_sp: int, new_sp: int, pc: int) -> None:
+        if new_sp < old_sp:  # allocation: fresh slots hold garbage
+            self._clear_init(new_sp, old_sp)
+        elif new_sp > old_sp:  # deallocation: stale data dies
+            self._clear_init(old_sp, new_sp)
+            for addr in [a for a in self._protected
+                         if old_sp <= a < new_sp]:
+                del self._protected[addr]
+        if new_sp > self.stack_top:
+            self._emit(
+                STACK_UNDERFLOW, pc,
+                f"sp {new_sp:#x} rose above the stack top "
+                f"{self.stack_top:#x}",
+                addr=new_sp,
+            )
+        elif new_sp < self._stack_base:
+            self._emit(
+                STACK_OVERFLOW, pc,
+                f"sp {new_sp:#x} fell below the stack window "
+                f"({self._stack_base:#x})",
+                addr=new_sp,
+            )
+
+    # ------------------------------------------------------------------
+    # the return protocol
+    # ------------------------------------------------------------------
+    def _check_return(self, target: int, sp_after: int,
+                      pc: int) -> None:
+        if not self._shadow:
+            return
+        expected, sp_at_call = self._shadow[-1]
+        if target == expected:
+            self._shadow.pop()
+            if sp_after != sp_at_call:
+                self._emit(
+                    UNBALANCED_STACK, pc,
+                    f"return to {target:#x} with sp {sp_after:#x}, "
+                    f"expected {sp_at_call:#x} from the call",
+                    addr=sp_after,
+                )
+            return
+        if target == EXIT_SENTINEL:
+            return
+        # Resync if the target matches a deeper frame (a chain of
+        # returns elided by tail merging); otherwise the saved return
+        # address was corrupted.
+        for depth in range(len(self._shadow) - 2, -1, -1):
+            if self._shadow[depth][0] == target:
+                del self._shadow[depth:]
+                return
+        self._emit(
+            RETURN_MISMATCH, pc,
+            f"return to {target:#x}, expected {expected:#x}",
+            addr=target,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _address(mem: Mem, cpu) -> int:
+        base = cpu.read_reg(mem.base)
+        offset = (cpu.read_reg(mem.index) if mem.index is not None
+                  else mem.offset)
+        return (base + offset) & MASK32 if mem.pre else base & MASK32
+
+    def observe(self, insn: Instruction, cpu) -> None:
+        """Inspect one instruction about to execute.  Never mutates
+        architectural state; ``cpu.regs[PC]`` is the instruction's
+        address."""
+        if not cpu.flags.passes(insn.cond):
+            return
+        m, ops = insn.mnemonic, insn.operands
+        pc = cpu.regs[PC]
+        sp = cpu.regs[SP]
+
+        if m == "push":
+            regs = ops[0].regs
+            new_sp = (sp - 4 * len(regs)) & MASK32
+            self._move_sp(sp, new_sp, pc)
+            for i, r in enumerate(regs):
+                slot = (new_sp + 4 * i) & MASK32
+                self._check_store(slot, 4, pc)
+                if r == LR:
+                    self._protected[slot] = cpu.read_reg(LR)
+        elif m == "pop":
+            regs = ops[0].regs
+            n = len(regs)
+            target = None
+            for i, r in enumerate(regs):
+                slot = (sp + 4 * i) & MASK32
+                self._check_load(slot, 4, pc, "pop")
+                self._protected.pop(slot & ~3, None)
+                if r == PC:
+                    target = cpu.memory.load_word(slot)
+            sp_after = (sp + 4 * n) & MASK32
+            self._move_sp(sp, sp_after, pc)
+            if target is not None:
+                self._check_return(target & MASK32, sp_after, pc)
+        elif m in ("str", "strb") and isinstance(ops[1], Mem):
+            addr = self._address(ops[1], cpu)
+            self._check_store(addr, 1 if m == "strb" else 4, pc)
+            if ops[1].writeback or not ops[1].pre:
+                self._track_writeback(ops[1], cpu, pc)
+        elif m in ("ldr", "ldrb") and isinstance(ops[1], Mem):
+            addr = self._address(ops[1], cpu)
+            self._check_load(addr, 1 if m == "ldrb" else 4, pc, m)
+            if ops[1].writeback or not ops[1].pre:
+                self._track_writeback(ops[1], cpu, pc)
+            if isinstance(ops[0], Reg) and ops[0].num == PC:
+                value = cpu.memory.load_word(addr) \
+                    if m == "ldr" else cpu.memory.load_byte(addr)
+                self._check_return(value & MASK32, sp, pc)
+        elif m == "bl":
+            self._shadow.append(((pc + 4) & MASK32, sp))
+        elif m == "bx":
+            self._check_return(
+                cpu.read_reg(ops[0].num) & ~1 & MASK32, sp, pc)
+        elif m in ("mov", "add", "sub") and isinstance(ops[0], Reg):
+            if ops[0].num == PC:
+                if m == "mov" and isinstance(ops[1], Reg):
+                    self._check_return(
+                        cpu.read_reg(ops[1].num) & MASK32, sp, pc)
+            elif ops[0].num == SP:
+                new_sp = self._simple_sp_value(insn, cpu)
+                if new_sp is not None:
+                    self._move_sp(sp, new_sp, pc)
+
+    def _track_writeback(self, mem: Mem, cpu, pc: int) -> None:
+        if mem.base == SP:
+            base = cpu.read_reg(SP)
+            offset = (cpu.read_reg(mem.index)
+                      if mem.index is not None else mem.offset)
+            self._move_sp(base, (base + offset) & MASK32, pc)
+
+    @staticmethod
+    def _simple_sp_value(insn: Instruction, cpu) -> Optional[int]:
+        """Concrete new ``sp`` for mov/add/sub writing it, else None."""
+        from repro.isa.operands import Imm, ShiftedReg
+
+        def flex(op) -> Optional[int]:
+            if isinstance(op, Imm):
+                return op.value & MASK32
+            if isinstance(op, Reg):
+                return cpu.read_reg(op.num)
+            if isinstance(op, ShiftedReg):
+                return None
+            return None
+
+        m, ops = insn.mnemonic, insn.operands
+        if m == "mov":
+            return flex(ops[1])
+        a = cpu.read_reg(ops[1].num)
+        b = flex(ops[2])
+        if b is None:
+            return None
+        return (a + b) & MASK32 if m == "add" else (a - b) & MASK32
+
+
+def run_sanitized(
+    image: Image, max_steps: int = 50_000_000
+) -> Tuple[Optional[RunResult], Optional[ExecutionError], Sanitizer]:
+    """Run *image* under a fresh sanitizer.
+
+    Returns ``(result, error, sanitizer)``: exactly one of *result* and
+    *error* is set (a crashing run still yields its findings, which is
+    the point — the sanitizer flags the clobber before the wild jump).
+    """
+    sanitizer = Sanitizer()
+    machine = Machine(image, max_steps=max_steps, sanitizer=sanitizer)
+    try:
+        return machine.run(), None, sanitizer
+    except ExecutionError as exc:
+        return None, exc, sanitizer
+
+
+def counterexample_kinds(before: Sanitizer,
+                         after: Sanitizer) -> Set[str]:
+    """Finding kinds introduced by a transformation.
+
+    The differential framing: the *before* (reference) program's
+    findings are its own business; only kinds that appear on the
+    transformed program but not the reference indict the
+    transformation.
+    """
+    return after.kinds - before.kinds
+
+
+__all__ = [
+    "MAX_FINDINGS",
+    "RETADDR_CLOBBER",
+    "RETURN_MISMATCH",
+    "STACK_OVERFLOW",
+    "STACK_SPAN",
+    "STACK_UNDERFLOW",
+    "Sanitizer",
+    "SanitizerFinding",
+    "UNBALANCED_STACK",
+    "UNINIT_READ",
+    "counterexample_kinds",
+    "run_sanitized",
+]

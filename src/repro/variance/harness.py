@@ -28,7 +28,7 @@ enabled, so CI artifacts carry full provenance.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
@@ -41,6 +41,7 @@ from repro.pa.driver import PAConfig, run_pa
 from repro.pa.sfx import SFXConfig, run_sfx
 from repro.report import ledger
 from repro.sim.machine import Machine, RunResult
+from repro.sim.sanitize import Sanitizer, counterexample_kinds
 
 from repro.variance.grid import Variant, variant_grid
 
@@ -59,6 +60,10 @@ class VarianceConfig:
     time_budget: float = 60.0
     verify: bool = False
     max_steps: int = 50_000_000
+    #: Run every oracle simulation under the stack sanitizer
+    #: (:mod:`repro.sim.sanitize`); finding kinds the abstracted build
+    #: trips that its own original build does not fail the oracle.
+    sanitize: bool = False
 
 
 @dataclass
@@ -89,16 +94,18 @@ class VariantOutcome:
         return self.instructions_before - self.instructions_after
 
 
-def _run_state(image: Image,
-               max_steps: int) -> Tuple[RunResult, List[int]]:
+def _run_state(
+    image: Image, max_steps: int, sanitize: bool = False
+) -> Tuple[RunResult, List[int], Optional[Sanitizer]]:
     """Execute *image* and capture the final data-section words."""
-    machine = Machine(image, max_steps=max_steps)
+    sanitizer = Sanitizer() if sanitize else None
+    machine = Machine(image, max_steps=max_steps, sanitizer=sanitizer)
     result = machine.run()
     words = [
         machine.memory.load_word(image.data_base + 4 * i)
         for i in range(len(image.data))
     ]
-    return result, words
+    return result, words, sanitizer
 
 
 def fragment_fingerprints(records: Sequence[Any]) -> frozenset:
@@ -134,7 +141,9 @@ def _run_variant(source: str, variant: Variant,
     """Compile one variant, abstract it, and run the oracle."""
     module = compile_to_module(source, config=variant.config)
     original = layout(module)
-    ref, ref_state = _run_state(original, config.max_steps)
+    ref, ref_state, ref_san = _run_state(
+        original, config.max_steps, sanitize=config.sanitize
+    )
 
     if config.engine == "sfx":
         result = run_sfx(module, SFXConfig(max_len=config.max_nodes))
@@ -147,7 +156,14 @@ def _run_variant(source: str, variant: Variant,
         ))
 
     abstracted = layout(module)
-    got, got_state = _run_state(abstracted, config.max_steps)
+    got, got_state, got_san = _run_state(
+        abstracted, config.max_steps, sanitize=config.sanitize
+    )
+    sanitizer_kinds: List[str] = []
+    if config.sanitize:
+        sanitizer_kinds = sorted(
+            counterexample_kinds(ref_san, got_san)
+        )
     if (got.output, got.exit_code) != (ref.output, ref.exit_code):
         oracle = OracleVerdict(
             ok=False,
@@ -164,6 +180,13 @@ def _run_variant(source: str, variant: Variant,
             ok=False,
             detail=f"final data state diverged at word {bad} "
                    f"({ref_state[bad]:#x} -> {got_state[bad]:#x})",
+        )
+    elif sanitizer_kinds:
+        oracle = OracleVerdict(
+            ok=False,
+            detail="sanitizer counterexample: the abstracted build "
+                   f"trips {', '.join(sanitizer_kinds)} that the "
+                   "original does not",
         )
     else:
         oracle = OracleVerdict(ok=True)
@@ -231,6 +254,7 @@ def run_variance(source: str, config: VarianceConfig,
         "n_variants": len(outcomes),
         "grid_seed": config.grid_seed,
         "verify": config.verify,
+        "sanitize": config.sanitize,
         "variants": [
             {
                 "name": o.variant.name,

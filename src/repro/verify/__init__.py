@@ -9,16 +9,27 @@ one catches the other's bugs).  Layering:
 * :mod:`repro.verify.dataflow` — the generic worklist solver,
 * :mod:`repro.verify.passes` — liveness, maybe-undefined, flag def-use
   and stack-depth analyses built on the solver,
+* :mod:`repro.verify.domains` — abstract value/stack/frame lattices,
+* :mod:`repro.verify.absint` — the interprocedural abstract interpreter
+  (``repro audit``, the sp-fragility facts, the lint v2 rules),
 * :mod:`repro.verify.lint` — the invariant linter (``repro lint``),
 * :mod:`repro.verify.symeval` — symbolic per-block evaluation,
 * :mod:`repro.verify.validate` — the per-round translation validator
   behind ``repro pa --verify``.
 """
 
+from repro.verify.absint import (
+    AbsEvent,
+    AuditResult,
+    FuncSummary,
+    audit_module,
+    module_summaries,
+)
 from repro.verify.cfg import BlockKey, ModuleCFG, build_module_cfg
 from repro.verify.dataflow import (
     Analysis,
     BACKWARD,
+    ConvergenceError,
     DataflowResult,
     FORWARD,
     solve,
@@ -46,11 +57,17 @@ from repro.verify.validate import (
 )
 
 __all__ = [
+    "AbsEvent",
     "Analysis",
+    "AuditResult",
     "BACKWARD",
     "BlockEvaluator",
     "BlockKey",
+    "ConvergenceError",
     "Counterexample",
+    "FuncSummary",
+    "audit_module",
+    "module_summaries",
     "DataflowResult",
     "FORWARD",
     "Finding",

@@ -11,7 +11,12 @@ whose inputs changed).
 
 Facts must be immutable values with ``==`` (frozensets, tuples, small
 dataclasses).  Termination is the analysis author's obligation: joins
-must be monotone over a finite lattice, as all bundled passes are.
+must be monotone over a finite lattice, as all bundled passes are — but
+because a non-monotone transfer would otherwise spin silently,
+:func:`solve` enforces a generous convergence bound
+(:data:`MAX_VISITS_PER_BLOCK` visits per block on average) and raises
+:class:`ConvergenceError` past it, converting an infinite loop into a
+diagnosable failure.
 """
 
 from __future__ import annotations
@@ -29,6 +34,15 @@ Fact = TypeVar("Fact")
 
 FORWARD = "forward"
 BACKWARD = "backward"
+
+#: Default convergence bound: a well-formed analysis visits each block
+#: O(lattice height) times; every bundled pass stays far below this.
+MAX_VISITS_PER_BLOCK = 1000
+
+
+class ConvergenceError(RuntimeError):
+    """The worklist exceeded its iteration bound (non-monotone
+    transfer/join, or a lattice with an unbounded ascending chain)."""
 
 
 class Analysis(Generic[Fact]):
@@ -70,8 +84,14 @@ class DataflowResult(Generic[Fact]):
     iterations: int = 0
 
 
-def solve(cfg: ModuleCFG, analysis: Analysis) -> DataflowResult:
-    """Run *analysis* over *cfg* to a fixpoint with a FIFO worklist."""
+def solve(cfg: ModuleCFG, analysis: Analysis,
+          max_visits_per_block: int = MAX_VISITS_PER_BLOCK
+          ) -> DataflowResult:
+    """Run *analysis* over *cfg* to a fixpoint with a FIFO worklist.
+
+    Raises :class:`ConvergenceError` when the total number of block
+    visits exceeds ``max_visits_per_block * len(cfg.keys)``.
+    """
     forward = analysis.direction == FORWARD
     edges_in = cfg.pred if forward else cfg.succ
     edges_out = cfg.succ if forward else cfg.pred
@@ -95,10 +115,18 @@ def solve(cfg: ModuleCFG, analysis: Analysis) -> DataflowResult:
     worklist = deque(cfg.keys if forward else reversed(cfg.keys))
     queued = set(worklist)
     iterations = 0
+    bound = max_visits_per_block * max(1, len(cfg.keys))
     while worklist:
         key = worklist.popleft()
         queued.discard(key)
         iterations += 1
+        if iterations > bound:
+            raise ConvergenceError(
+                f"dataflow solve exceeded {bound} block visits over "
+                f"{len(cfg.keys)} blocks ({type(analysis).__name__}); "
+                "the transfer or join is not monotone, or the lattice "
+                "has an unbounded chain"
+            )
         fact = analysis.initial(cfg, key)
         if key in boundary_keys:
             fact = analysis.join(fact, analysis.boundary(cfg, key))

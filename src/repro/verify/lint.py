@@ -36,12 +36,29 @@ rule                        severity  meaning
                                       garbage after a call
 ``unreachable-block``       warning   a block no function entry reaches
 ``empty-block``             info      a block with no instructions
+``unbalanced-stack``        error     paths merge at provably different
+                                      stack heights (absint)
+``clobbered-saved-lr``      error     a store provably overwrites a saved
+                                      return address on the stack (absint)
+``uninit-read``             warning   a stack slot is read before any
+                                      write reaches it (absint)
+``caller-frame-escape``     warning   the function provably touches stack
+                                      memory its caller owns (absint —
+                                      what makes a helper sp-fragile)
+``unbounded-stack-growth``  warning   a loop whose net sp delta is
+                                      non-zero (absint)
+``dead-store``              info      an unconditional register write no
+                                      path ever reads
 ==========================  ========  =====================================
+
+The six ``absint``-backed rules come from the abstract interpreter of
+:mod:`repro.verify.absint` — proven facts, not pattern heuristics.
 
 Severities: an *error* means layout, execution, or a later abstraction
 round can go wrong; a *warning* is suspicious but can be benign dead
 code; *info* is diagnostic only.  :meth:`LintReport.to_dict` is the JSON
-shape (schema ``repro.verify.lint/1``) consumed by CI.
+shape (schema ``repro.verify.lint/2``) consumed by CI.  Schema ``/2``
+extends ``/1`` additively: same top-level keys, new rule names.
 """
 
 from __future__ import annotations
@@ -58,12 +75,24 @@ from repro.isa.instructions import Instruction
 from repro.isa.registers import reg_name
 from repro.telemetry import GLOBAL as _TELEMETRY
 
+from repro.verify.absint import (
+    CALLER_READ,
+    CALLER_WRITE,
+    GROWTH_CYCLE,
+    HEIGHT_MISMATCH,
+    NEGATIVE_HEIGHT,
+    RETADDR_CLOBBER,
+    UNINIT_READ,
+    AuditResult,
+    audit_module,
+)
 from repro.verify.cfg import ModuleCFG, build_module_cfg
 from repro.verify.passes import (
     TOP,
     flag_def_use,
     function_summaries,
     insn_accesses,
+    liveness,
     maybe_undef,
     stack_depths,
     step_depth,
@@ -71,7 +100,7 @@ from repro.verify.passes import (
 )
 
 #: Version tag of the lint JSON schema.
-LINT_SCHEMA = "repro.verify.lint/1"
+LINT_SCHEMA = "repro.verify.lint/2"
 
 #: The pc-relative reach of a literal load (matches the layout check).
 POOL_RANGE = 4096
@@ -200,8 +229,13 @@ def _is_control_transfer(insn: Instruction) -> bool:
 # the linter
 # ----------------------------------------------------------------------
 def lint_module(module: Module,
-                cfg: Optional[ModuleCFG] = None) -> LintReport:
-    """Run every lint rule over *module*; returns the full report."""
+                cfg: Optional[ModuleCFG] = None,
+                audit: Optional[AuditResult] = None) -> LintReport:
+    """Run every lint rule over *module*; returns the full report.
+
+    Pass a precomputed *audit* (from :func:`audit_module`) to share the
+    abstract-interpretation fixpoint with a caller that already ran it.
+    """
     with _TELEMETRY.span("verify.lint"):
         cfg = cfg or build_module_cfg(module)
         report = LintReport()
@@ -211,6 +245,8 @@ def lint_module(module: Module,
         _check_stack(module, cfg, report)
         _check_undefined_reads(module, cfg, report)
         _check_reachability(module, cfg, report)
+        _check_absint(module, cfg, report, audit)
+        _check_dead_stores(module, cfg, report)
     if _TELEMETRY.enabled:
         _TELEMETRY.count("verify.lint.runs")
         _TELEMETRY.count("verify.lint.blocks", len(cfg.keys))
@@ -487,4 +523,73 @@ def _check_reachability(module: Module, cfg: ModuleCFG,
                 rule="unreachable-block", severity=Severity.WARNING,
                 message="no function entry reaches this block",
                 function=key[0], block=key[1],
+            ))
+
+
+#: Event kind -> (lint rule, severity) for the absint-backed rules.
+_ABSINT_RULES = {
+    RETADDR_CLOBBER: ("clobbered-saved-lr", Severity.ERROR),
+    HEIGHT_MISMATCH: ("unbalanced-stack", Severity.ERROR),
+    UNINIT_READ: ("uninit-read", Severity.WARNING),
+    CALLER_READ: ("caller-frame-escape", Severity.WARNING),
+    CALLER_WRITE: ("caller-frame-escape", Severity.WARNING),
+    NEGATIVE_HEIGHT: ("caller-frame-escape", Severity.WARNING),
+    GROWTH_CYCLE: ("unbounded-stack-growth", Severity.WARNING),
+}
+
+
+def _check_absint(module: Module, cfg: ModuleCFG, report: LintReport,
+                  audit: Optional[AuditResult]) -> None:
+    """The six absint-backed rules: each event maps to one finding."""
+    audit = audit or audit_module(module, cfg)
+    for event in audit.events:
+        rule, severity = _ABSINT_RULES[event.kind]
+        text = None
+        if event.insn is not None:
+            key = (event.function, event.block)
+            text = str(cfg.blocks[key].instructions[event.insn])
+        report.findings.append(Finding(
+            rule=rule, severity=severity, message=event.detail,
+            function=event.function, block=event.block,
+            insn=event.insn, text=text,
+        ))
+
+
+#: Mnemonics safe to flag as dead stores: pure register computations
+#: with no memory, flag, control or convention side effects.
+_PURE_WRITERS = frozenset(
+    {"and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc", "orr",
+     "bic", "mov", "mvn", "mul", "mla"}
+)
+
+
+def _check_dead_stores(module: Module, cfg: ModuleCFG,
+                       report: LintReport) -> None:
+    """dead-store: an unconditional register write no path reads."""
+    result = liveness(module, cfg)
+    for key in cfg.keys:
+        live = set(result.out_facts[key])
+        block = cfg.blocks[key]
+        dead: List[Tuple[int, Instruction, int]] = []
+        for ii in range(len(block.instructions) - 1, -1, -1):
+            insn = block.instructions[ii]
+            reads, writes = insn_accesses(insn)
+            if (
+                insn.mnemonic in _PURE_WRITERS
+                and not insn.is_conditional
+                and not insn.set_flags
+                and len(writes) == 1
+            ):
+                rd = next(iter(writes))
+                if isinstance(rd, int) and rd < 13 and rd not in live:
+                    dead.append((ii, insn, rd))
+            if not insn.is_conditional:
+                live -= writes
+            live |= reads
+        for ii, insn, rd in reversed(dead):
+            report.findings.append(Finding(
+                rule="dead-store", severity=Severity.INFO,
+                message=f"writes {reg_name(rd)} but no path reads it "
+                        f"afterwards",
+                function=key[0], block=key[1], insn=ii, text=str(insn),
             ))

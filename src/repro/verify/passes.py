@@ -84,10 +84,12 @@ class LivenessAnalysis(Analysis):
     def initial(self, cfg: ModuleCFG, key: BlockKey) -> FrozenSet[Resource]:
         return EMPTY
 
-    def join(self, a, b):
+    def join(self, a: FrozenSet[Resource],
+             b: FrozenSet[Resource]) -> FrozenSet[Resource]:
         return a | b
 
-    def transfer(self, key: BlockKey, block: BasicBlock, live_out):
+    def transfer(self, key: BlockKey, block: BasicBlock,
+                 live_out: FrozenSet[Resource]) -> FrozenSet[Resource]:
         live = set(live_out)
         for insn in reversed(block.instructions):
             reads, writes = insn_accesses(insn)
@@ -135,10 +137,12 @@ class MaybeUndefAnalysis(Analysis):
     def initial(self, cfg: ModuleCFG, key: BlockKey) -> FrozenSet[Resource]:
         return EMPTY
 
-    def join(self, a, b):
+    def join(self, a: FrozenSet[Resource],
+             b: FrozenSet[Resource]) -> FrozenSet[Resource]:
         return a | b
 
-    def transfer(self, key: BlockKey, block: BasicBlock, undef):
+    def transfer(self, key: BlockKey, block: BasicBlock,
+                 undef: FrozenSet[Resource]) -> FrozenSet[Resource]:
         state = set(undef)
         for insn in block.instructions:
             step_undef(state, insn)
@@ -195,7 +199,7 @@ class FlagDefinedAnalysis(Analysis):
 
     direction = FORWARD
 
-    def __init__(self, summaries: Dict[str, FlagEffect]):
+    def __init__(self, summaries: Dict[str, FlagEffect]) -> None:
         self.summaries = summaries
 
     def boundary(self, cfg: ModuleCFG, key: BlockKey) -> bool:
@@ -204,10 +208,11 @@ class FlagDefinedAnalysis(Analysis):
     def initial(self, cfg: ModuleCFG, key: BlockKey) -> bool:
         return True  # optimistic for a must-analysis
 
-    def join(self, a, b):
+    def join(self, a: bool, b: bool) -> bool:
         return a and b
 
-    def transfer(self, key: BlockKey, block: BasicBlock, defined):
+    def transfer(self, key: BlockKey, block: BasicBlock,
+                 defined: bool) -> bool:
         for insn in block.instructions:
             defined = step_flag_defined(defined, insn, self.summaries)
         return defined
@@ -285,7 +290,7 @@ class FlagDefAnalysis(Analysis):
 
     direction = FORWARD
 
-    def __init__(self, summaries: Dict[str, FlagEffect]):
+    def __init__(self, summaries: Dict[str, FlagEffect]) -> None:
         self.summaries = summaries
 
     def boundary(self, cfg: ModuleCFG, key: BlockKey) -> FrozenSet[FlagDef]:
@@ -294,10 +299,12 @@ class FlagDefAnalysis(Analysis):
     def initial(self, cfg: ModuleCFG, key: BlockKey) -> FrozenSet[FlagDef]:
         return frozenset()
 
-    def join(self, a, b):
+    def join(self, a: FrozenSet[FlagDef],
+             b: FrozenSet[FlagDef]) -> FrozenSet[FlagDef]:
         return a | b
 
-    def transfer(self, key: BlockKey, block: BasicBlock, defs):
+    def transfer(self, key: BlockKey, block: BasicBlock,
+                 defs: FrozenSet[FlagDef]) -> FrozenSet[FlagDef]:
         state = set(defs)
         for index, insn in enumerate(block.instructions):
             step_flag_defs(state, key, index, insn, self.summaries)
@@ -356,6 +363,9 @@ def flag_def_use(
 # ----------------------------------------------------------------------
 #: ``TOP`` means sp escaped affine tracking (e.g. ``mov sp, r0``).
 TOP = None
+
+#: A stack-depth fact: the set of possible byte depths, or :data:`TOP`.
+DepthSet = Optional[FrozenSet[int]]
 
 #: Beyond this many distinct depths the fact widens to TOP — both a
 #: termination guarantee (an unbalanced loop otherwise grows the set
@@ -417,29 +427,32 @@ class StackDepthAnalysis(Analysis):
     direction = FORWARD
 
     def __init__(self,
-                 summaries: Optional[Dict[str, Optional[int]]] = None):
+                 summaries: Optional[Dict[str, Optional[int]]] = None
+                 ) -> None:
         self.summaries = summaries
 
-    def boundary(self, cfg: ModuleCFG, key: BlockKey):
+    def boundary(self, cfg: ModuleCFG, key: BlockKey) -> DepthSet:
         return frozenset({0})
 
-    def initial(self, cfg: ModuleCFG, key: BlockKey):
+    def initial(self, cfg: ModuleCFG, key: BlockKey) -> DepthSet:
         return frozenset()
 
-    def join(self, a, b):
+    def join(self, a: DepthSet, b: DepthSet) -> DepthSet:
         if a is TOP or b is TOP:
             return TOP
         merged = a | b
         return TOP if len(merged) > MAX_DEPTHS else merged
 
-    def transfer(self, key: BlockKey, block: BasicBlock, depths):
+    def transfer(self, key: BlockKey, block: BasicBlock,
+                 depths: DepthSet) -> DepthSet:
         for insn in block.instructions:
             depths = step_depth(depths, insn, self.summaries)
         return depths
 
 
-def step_depth(depths, insn: Instruction,
-               summaries: Optional[Dict[str, Optional[int]]] = None):
+def step_depth(depths: DepthSet, insn: Instruction,
+               summaries: Optional[Dict[str, Optional[int]]] = None
+               ) -> DepthSet:
     """Advance a depth set across one instruction (TOP-propagating)."""
     if depths is TOP:
         return TOP
@@ -456,7 +469,8 @@ def step_depth(depths, insn: Instruction,
 
 def return_depth(cfg: ModuleCFG, result: DataflowResult, key: BlockKey,
                  index: int,
-                 summaries: Optional[Dict[str, Optional[int]]] = None):
+                 summaries: Optional[Dict[str, Optional[int]]] = None
+                 ) -> DepthSet:
     """Depth set at the moment a return at (*key*, *index*) transfers.
 
     For ``pop {…, pc}`` the pop has restored ``sp`` by the time control

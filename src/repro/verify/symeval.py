@@ -169,7 +169,7 @@ class BlockEvaluator:
         self,
         inline_calls: Optional[Dict[str, List[Instruction]]] = None,
         tails: Optional[Dict[str, List[Instruction]]] = None,
-    ):
+    ) -> None:
         self.inline_calls = inline_calls or {}
         self.tails = tails or {}
         self._seq = 0
@@ -419,7 +419,8 @@ class BlockEvaluator:
             return ("flagsof", m, a, b, state.flags)
         return ("flagsof", m, a, b)
 
-    def _address(self, state: SymState, mem: Mem):
+    def _address(self, state: SymState, mem: Mem
+                 ) -> Tuple[Term, Optional[Tuple[int, Term]]]:
         """(effective address, optional base writeback update)."""
         base = self._reg(state, mem.base)
         if mem.index is not None:

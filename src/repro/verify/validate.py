@@ -94,7 +94,7 @@ class TranslationValidationError(VerificationError):
 
     def __init__(self, message: str,
                  counterexample: Optional[Counterexample] = None,
-                 lint_report: Optional[LintReport] = None):
+                 lint_report: Optional[LintReport] = None) -> None:
         super().__init__(message)
         self.counterexample = counterexample
         self.lint_report = lint_report
@@ -329,7 +329,13 @@ def verify_round(
         )
 
 
-def _verify_round(module, snapshot, records, pre_lr_live, round_index):
+def _verify_round(
+    module: Module,
+    snapshot: ModuleSnapshot,
+    records: Sequence[object],
+    pre_lr_live: Set[Tuple[str, int]],
+    round_index: int,
+) -> RoundVerification:
     call_symbols = {
         r.new_symbol for r in records if r.method == "call"
     }

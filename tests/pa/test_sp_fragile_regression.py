@@ -152,6 +152,69 @@ def test_composition_program_miscompiles_without_the_gate(monkeypatch):
         run_image(layout(module), max_steps=100_000)
 
 
+def test_static_catch_absint_proves_fragility_with_evidence():
+    """The gate's verdict is now an absint *fact*: the outlined
+    sp-storing helper is provably fragile (it writes the caller's
+    frame), and the ledger carries the evidence."""
+    from repro.report.ledger import GLOBAL as ledger
+    from repro.verify.absint import module_summaries
+
+    module = module_from_source(COMPOSITION_PROGRAM)
+    run_sfx(module)
+    fragile = sp_fragile_functions(module)
+    assert fragile, "round 1 must still outline the sp-storing run"
+
+    summaries = module_summaries(module)
+    for name in fragile:
+        assert summaries[name].fragile
+        assert summaries[name].touches_caller_frame or \
+            summaries[name].net_delta != 0 or \
+            not summaries[name].height_known
+    # the helper writes through sp at its entry height: caller memory
+    assert any(summaries[n].caller_writes for n in fragile)
+
+    ledger.enable()
+    ledger.reset()
+    try:
+        sp_fragile_functions(module)
+        records = ledger.records_of("legality.sp_fragile")
+    finally:
+        ledger.reset()
+        ledger.disable()
+    assert {r["function"] for r in records} == set(fragile)
+    assert all("caller_writes" in r for r in records)
+
+
+def test_dynamic_catch_sanitizer_flags_the_clobber(monkeypatch):
+    """With the gate disabled the sanitizer catches the composition at
+    the faulting store — a retaddr-clobber finding naming the saved-lr
+    slot — before the wild jump kills the run."""
+    from repro.sim.sanitize import RETADDR_CLOBBER, run_sanitized
+
+    import repro.pa.sfx as sfx_mod
+
+    # gated build: zero findings
+    module = module_from_source(COMPOSITION_PROGRAM)
+    run_sfx(module)
+    _, error, sanitizer = run_sanitized(layout(module),
+                                        max_steps=100_000)
+    assert error is None and sanitizer.findings == []
+
+    # ungated build: the clobber is flagged at its site
+    monkeypatch.setattr(
+        sfx_mod, "sp_fragile_functions", lambda module: frozenset()
+    )
+    broken = module_from_source(COMPOSITION_PROGRAM)
+    run_sfx(broken)
+    _, error, sanitizer = run_sanitized(layout(broken),
+                                        max_steps=100_000)
+    assert error is not None
+    assert RETADDR_CLOBBER in sanitizer.kinds
+    finding = next(f for f in sanitizer.findings
+                   if f.kind == RETADDR_CLOBBER)
+    assert "saved return address" in finding.detail
+
+
 def test_driver_rejects_bracketing_fragile_callee():
     reference = run_asm(COMPOSITION_PROGRAM)
     module = module_from_source(COMPOSITION_PROGRAM)

@@ -1,0 +1,121 @@
+"""The simulation-time stack sanitizer.
+
+Three obligations: it never perturbs architectural state (sanitized and
+plain runs are bit-identical), it stays silent on well-behaved code,
+and it catches the sp-fragility composition dynamically — the saved-lr
+clobber fires *before* the wild jump crashes the machine.
+"""
+
+import pytest
+
+from repro.binary.layout import layout
+from repro.sim.machine import Machine, run_image
+from repro.sim.sanitize import (
+    RETADDR_CLOBBER,
+    Sanitizer,
+    counterexample_kinds,
+    run_sanitized,
+)
+
+from tests.conftest import SHARED_FRAGMENT_PROGRAM, module_from_source
+
+CLEAN = SHARED_FRAGMENT_PROGRAM
+
+LITERAL_POOL = """
+_start:
+    bl f
+    mov r0, #0
+    swi #0
+f:
+    ldr r0, =123
+    swi #2
+    mov pc, lr
+"""
+
+
+def _run_pair(asm):
+    image = layout(module_from_source(asm))
+    plain = run_image(image)
+    image2 = layout(module_from_source(asm))
+    sanitizer = Sanitizer()
+    machine = Machine(image2, sanitizer=sanitizer)
+    sanitized = machine.run()
+    return plain, sanitized, sanitizer
+
+
+def test_clean_program_has_no_findings():
+    plain, sanitized, sanitizer = _run_pair(CLEAN)
+    assert sanitizer.findings == []
+    assert sanitizer.kinds == set()
+
+
+def test_sanitized_run_is_bit_identical():
+    plain, sanitized, sanitizer = _run_pair(CLEAN)
+    assert sanitized.output == plain.output
+    assert sanitized.exit_code == plain.exit_code
+    assert sanitized.steps == plain.steps
+
+
+def test_literal_pool_loads_are_not_stack_reads():
+    """The shadow window must stop at the image, not extend into it:
+    pc-relative literal loads are reads of initialized .text."""
+    plain, sanitized, sanitizer = _run_pair(LITERAL_POOL)
+    assert sanitizer.findings == []
+    assert sanitized.output == plain.output
+
+
+def test_saved_lr_clobber_is_caught():
+    module = module_from_source("""
+_start:
+    bl f
+    mov r0, #0
+    swi #0
+f:
+    push {lr}
+    mov r0, #7
+    str r0, [sp]
+    pop {pc}
+""")
+    result, error, sanitizer = run_sanitized(layout(module),
+                                             max_steps=100_000)
+    assert RETADDR_CLOBBER in sanitizer.kinds
+    clobbers = [f for f in sanitizer.findings
+                if f.kind == RETADDR_CLOBBER]
+    assert "saved return address" in clobbers[0].detail
+
+
+def test_run_sanitized_returns_result_on_clean_program():
+    result, error, sanitizer = run_sanitized(
+        layout(module_from_source(CLEAN))
+    )
+    assert error is None
+    assert result is not None and result.exit_code == 0
+    assert sanitizer.findings == []
+
+
+def test_counterexample_kinds_is_a_set_difference():
+    before, after = Sanitizer(), Sanitizer()
+    before.attach(0x80000)
+    after.attach(0x80000)
+    before._emit("uninit-slot-read", 0x8000, "pre-existing")
+    after._emit("uninit-slot-read", 0x8000, "pre-existing")
+    after._emit(RETADDR_CLOBBER, 0x8010, "new")
+    assert counterexample_kinds(before, after) == {RETADDR_CLOBBER}
+    assert counterexample_kinds(after, before) == set()
+
+
+def test_findings_serialize():
+    module = module_from_source("""
+_start:
+    bl f
+    mov r0, #0
+    swi #0
+f:
+    push {lr}
+    mov r0, #7
+    str r0, [sp]
+    pop {pc}
+""")
+    _, _, sanitizer = run_sanitized(layout(module), max_steps=100_000)
+    payload = [f.to_dict() for f in sanitizer.findings]
+    assert payload and {"kind", "pc", "detail", "addr"} <= set(payload[0])

@@ -1,0 +1,128 @@
+"""The generic worklist solver: edge cases the bundled passes rarely
+exercise — unreachable blocks, self-loops, empty blocks — plus the
+convergence bound that turns a non-monotone analysis into a diagnosable
+error instead of an infinite loop."""
+
+import pytest
+
+from repro.verify.cfg import build_module_cfg
+from repro.verify.dataflow import (
+    Analysis,
+    ConvergenceError,
+    FORWARD,
+    MAX_VISITS_PER_BLOCK,
+    solve,
+)
+
+from tests.conftest import module_from_source
+
+
+class Reachability(Analysis):
+    """Is this block reachable from an entry?  Monotone over {F < T}."""
+
+    direction = FORWARD
+
+    def boundary(self, cfg, key):
+        return True
+
+    def initial(self, cfg, key):
+        return False
+
+    def join(self, a, b):
+        return a or b
+
+    def transfer(self, key, block, fact):
+        return fact
+
+
+class Diverging(Analysis):
+    """A deliberately non-monotone analysis: the out-fact changes on
+    every visit, so a cyclic CFG never stabilises."""
+
+    direction = FORWARD
+
+    def boundary(self, cfg, key):
+        return 0
+
+    def initial(self, cfg, key):
+        return 0
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def transfer(self, key, block, fact):
+        return fact + 1
+
+
+SELF_LOOP = """
+_start:
+    mov r0, #3
+spin:
+    sub r0, r0, #1
+    cmp r0, #0
+    bne spin
+    mov r0, #0
+    swi #0
+"""
+
+UNREACHABLE = """
+_start:
+    b live
+dead:
+    mov r1, #1
+    mov r2, #2
+live:
+    mov r0, #0
+    swi #0
+"""
+
+
+def test_unreachable_blocks_get_facts_and_stay_bottom():
+    cfg = build_module_cfg(module_from_source(UNREACHABLE))
+    result = solve(cfg, Reachability())
+    # every block is solved, reachable or not
+    assert set(result.in_facts) == set(cfg.keys)
+    dead = next(k for k in cfg.keys if not cfg.pred[k]
+                and k not in cfg.entries)
+    assert result.in_facts[dead] is False
+    assert all(result.in_facts[k] for k in cfg.entries)
+
+
+def test_self_loop_converges():
+    cfg = build_module_cfg(module_from_source(SELF_LOOP))
+    loop = next(k for k in cfg.keys if k in cfg.succ[k])
+    result = solve(cfg, Reachability())
+    assert result.in_facts[loop] is True
+    # the loop is visited a bounded number of times, not MAX_VISITS
+    assert result.iterations < MAX_VISITS_PER_BLOCK
+
+
+def test_block_without_instructions_flows_through():
+    """A label immediately followed by another label yields a block
+    with no instructions; transfer must still run and propagate."""
+    module = module_from_source("""
+_start:
+    b hop
+hop:
+via:
+    mov r0, #0
+    swi #0
+""")
+    cfg = build_module_cfg(module)
+    result = solve(cfg, Reachability())
+    assert all(result.in_facts[k] for k in cfg.keys
+               if cfg.pred[k] or k in cfg.entries)
+
+
+def test_nonmonotone_analysis_raises_convergence_error():
+    cfg = build_module_cfg(module_from_source(SELF_LOOP))
+    with pytest.raises(ConvergenceError) as exc:
+        solve(cfg, Diverging(), max_visits_per_block=8)
+    assert "Diverging" in str(exc.value)
+    assert "monotone" in str(exc.value)
+
+
+def test_monotone_analysis_stays_far_below_the_default_bound():
+    cfg = build_module_cfg(module_from_source(SELF_LOOP))
+    result = solve(cfg, Reachability())
+    assert result.iterations <= 4 * len(cfg.keys)

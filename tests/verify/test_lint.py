@@ -157,7 +157,7 @@ def test_unreachable_block_is_warning():
 def test_report_json_shape():
     report = lint_module(module_from_source(CLEAN))
     payload = json.loads(report.to_json())
-    assert payload["schema"] == "repro.verify.lint/1"
+    assert payload["schema"] == "repro.verify.lint/2"
     assert payload["ok"] is True
     assert set(payload["counts"]) == {"info", "warning", "error"}
     assert isinstance(payload["findings"], list)

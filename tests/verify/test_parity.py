@@ -1,0 +1,51 @@
+"""Determinism parity: the verifier's findings are a function of the
+module, never of the execution config that produced it.
+
+The abstraction result is bit-identical for every worker count and
+cache state (the scale engine's contract), so the lint report and the
+audit payload over the abstracted module must serialize to the *same
+bytes* across ``workers=1`` vs ``workers=4`` and cold vs warm fragment
+cache."""
+
+import json
+
+from repro.pa.driver import PAConfig, run_pa
+from repro.verify.absint import audit_module
+from repro.verify.lint import lint_module
+
+from tests.conftest import SHARED_FRAGMENT_PROGRAM, module_from_source
+
+
+def _verifier_bytes(module) -> bytes:
+    lint_payload = lint_module(module).to_dict()
+    audit_payload = audit_module(module).to_payload(source="parity")
+    return json.dumps([lint_payload, audit_payload],
+                      sort_keys=True).encode()
+
+
+def _abstract(workers: int, cache_dir=None) -> bytes:
+    module = module_from_source(SHARED_FRAGMENT_PROGRAM)
+    run_pa(module, PAConfig(
+        workers=workers,
+        fragment_cache=str(cache_dir) if cache_dir else None,
+        time_budget=30.0,
+    ))
+    return _verifier_bytes(module)
+
+
+def test_findings_identical_across_worker_counts():
+    assert _abstract(workers=1) == _abstract(workers=4)
+
+
+def test_findings_identical_cold_vs_warm_cache(tmp_path):
+    cache = tmp_path / "fragcache"
+    cold = _abstract(workers=1, cache_dir=cache)
+    warm = _abstract(workers=1, cache_dir=cache)
+    assert cold == warm
+    assert cold == _abstract(workers=1)  # and cache-independent
+
+
+def test_serial_engine_matches_scale_engine():
+    module = module_from_source(SHARED_FRAGMENT_PROGRAM)
+    run_pa(module, PAConfig(time_budget=30.0))
+    assert _verifier_bytes(module) == _abstract(workers=1)
