@@ -207,6 +207,42 @@ def _add_scale_args(parser) -> None:
              "later runs skip re-mining unchanged shards (implies the "
              "in-memory cache the scale engine always uses)",
     )
+    parser.add_argument(
+        "--shard-retries", type=int, default=None, metavar="N",
+        help="redeliveries per shard before it falls back to an "
+             "in-parent serial re-mine and then quarantine (scale "
+             "engine; default 2).  Retries re-run the same pure mine, "
+             "so the crash/retry schedule never changes results",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard soft timeout (scale engine, 2+ workers): a "
+             "shard in flight longer than this has its worker killed "
+             "and is redelivered.  Default: no timeout",
+    )
+    parser.add_argument(
+        "--strict-shards", action="store_true",
+        help="fail the run with a typed error (REPRO-SHARD, exit 7) "
+             "when a shard is quarantined, instead of the default "
+             "policy of dropping it and degrading the run",
+    )
+
+
+def _apply_shard_policy(config, args) -> None:
+    """Fold the supervised executor's policy flags into *config*.
+
+    Like ``--workers`` these are machine-local execution knobs: retry
+    schedules and timeouts re-run the same pure mine, so they cannot
+    change a result — only whether a crashy run completes, degrades or
+    (``--strict-shards``) fails typed.  Unset flags keep the config's
+    (or the resumed checkpoint's) values.
+    """
+    if args.shard_retries is not None:
+        config.shard_retries = args.shard_retries
+    if args.shard_timeout is not None:
+        config.shard_timeout = args.shard_timeout
+    if args.strict_shards:
+        config.strict_shards = True
 
 
 def _check_output_paths(args) -> list:
@@ -355,6 +391,12 @@ def _shard_imbalance_table(registry) -> str:
     stalled = registry.counter_value("scale.shards.stalled")
     if stalled:
         summary += f", {stalled} flagged stalled"
+    retries = registry.counter_value("scale.shard.retries")
+    if retries:
+        summary += f", {retries} redeliveries"
+    quarantined = registry.counter_value("scale.shards.quarantined")
+    if quarantined:
+        summary += f", {quarantined} quarantined"
     lines.append(summary)
     return "\n".join(lines)
 
@@ -443,6 +485,7 @@ def cmd_pa(args) -> int:
             config.workers = args.workers
         if args.fragment_cache:
             config.fragment_cache = args.fragment_cache
+        _apply_shard_policy(config, args)
         print(f"resumed from round {resume.round} ({args.resume})",
               file=sys.stderr)
     else:
@@ -457,6 +500,7 @@ def cmd_pa(args) -> int:
             workers=args.workers,
             fragment_cache=args.fragment_cache,
         )
+        _apply_shard_policy(config, args)
     # The sanitizer is a passive observer: sanitized runs remain
     # bit-identical to plain ones, so running the oracle pair under it
     # changes nothing unless a counterexample fires.
@@ -532,6 +576,16 @@ def cmd_pa(args) -> int:
     if getattr(result, "stragglers", 0):
         print(f"note: {result.stragglers} shard(s) went quiet past the "
               "straggler watchdog threshold (see shard.stalled events)",
+              file=sys.stderr)
+    if getattr(result, "shards_retried", 0):
+        print(f"note: {result.shards_retried} shard(s) needed "
+              "redelivery (worker death/timeout/failure; results are "
+              "unaffected — see scale.retry ledger records)",
+              file=sys.stderr)
+    if getattr(result, "shards_quarantined", 0):
+        print(f"note: {result.shards_quarantined} shard(s) quarantined "
+              "after retries and the serial fallback (see "
+              "scale.quarantine ledger records)",
               file=sys.stderr)
     if getattr(result, "degraded", False):
         # Anytime semantics: degraded is still exit 0 — the module is
@@ -649,10 +703,12 @@ def cmd_table1(args) -> int:
                     if engine == "sfx":
                         result = run_sfx(module)
                     else:
-                        result = run_pa(module, PAConfig(
+                        config = PAConfig(
                             miner=engine, time_budget=args.time_budget,
                             workers=args.workers,
-                            fragment_cache=args.fragment_cache))
+                            fragment_cache=args.fragment_cache)
+                        _apply_shard_policy(config, args)
+                        result = run_pa(module, config)
                 verify_workload(name, module)
                 saved[engine] = base - module.num_instructions
                 elapsed = time.perf_counter() - started
@@ -672,6 +728,10 @@ def cmd_table1(args) -> int:
                     cache_hits=getattr(result, "cache_hits", 0),
                     lattice_nodes_reused=getattr(
                         result, "lattice_nodes_reused", 0),
+                    shards_retried=getattr(
+                        result, "shards_retried", 0),
+                    shards_quarantined=getattr(
+                        result, "shards_quarantined", 0),
                 )
                 print(f"  {name}/{engine}: saved {saved[engine]} "
                       f"({elapsed:.1f}s)",
@@ -698,14 +758,16 @@ def cmd_profile(args) -> int:
         if args.engine == "sfx":
             result = run_sfx(module, SFXConfig(max_len=args.max_nodes))
         else:
-            result = run_pa(module, PAConfig(
+            config = PAConfig(
                 miner=args.engine,
                 max_nodes=args.max_nodes,
                 time_budget=args.time_budget,
                 verify=args.verify,
                 workers=args.workers,
                 fragment_cache=args.fragment_cache,
-            ))
+            )
+            _apply_shard_policy(config, args)
+            result = run_pa(module, config)
     registry = telemetry.get()
     print(f"{args.source}/{args.engine}: {before} -> "
           f"{module.num_instructions} instructions "

@@ -116,6 +116,19 @@ class PAConfig:
     #: Directory for the persistent fragment cache (scale engine only);
     #: None keeps the cache in-memory for the run.
     fragment_cache: Optional[str] = None
+    #: Redeliveries per shard before it falls back to an in-parent
+    #: serial re-mine and then quarantine (scale engine; see
+    #: :mod:`repro.scale.supervise`).  Retries re-run the same pure
+    #: function, so the crash/retry schedule never changes results.
+    shard_retries: int = 2
+    #: Per-shard soft timeout (seconds; scale engine, ``workers >= 2``):
+    #: a shard in flight longer than this has its worker killed and is
+    #: redelivered.  None disables the timeout.
+    shard_timeout: Optional[float] = None
+    #: Raise a typed ShardError (exit 7) when a shard is quarantined
+    #: (retries and the serial fallback all failed) instead of the
+    #: default policy of dropping the shard and degrading the run.
+    strict_shards: bool = False
 
 
 @dataclass
@@ -169,6 +182,11 @@ class PAResult:
     lattice_nodes_reused: int = 0
     #: shards the progress watchdog flagged for stale heartbeats
     stragglers: int = 0
+    #: distinct shards that needed more than one delivery (worker
+    #: death, soft timeout or a failed attempt; see repro.scale.supervise)
+    shards_retried: int = 0
+    #: shards dropped after retries and the serial fallback all failed
+    shards_quarantined: int = 0
     #: end-of-run fragment-cache census (hits/misses/stores/...);
     #: empty under the legacy serial engine
     cache_census: Dict[str, int] = field(default_factory=dict)
@@ -702,6 +720,8 @@ def _run_pa(module: Module, config: PAConfig, governor: RunGovernor,
         result.cache_hits = resume.cache_hits
         result.cache_misses = resume.cache_misses
         result.lattice_nodes_reused = resume.lattice_nodes_reused
+        result.shards_retried = resume.shards_retried
+        result.shards_quarantined = resume.shards_quarantined
         result.records = [
             ExtractionRecord(
                 round=r["round"],
@@ -891,6 +911,8 @@ def _round_once(module: Module, config: PAConfig, governor: RunGovernor,
             result.stragglers += scale_stats.stragglers
             result.cache_hits += scale_stats.cache_hits
             result.cache_misses += scale_stats.cache_misses
+            result.shards_retried += scale_stats.shards_retried
+            result.shards_quarantined += scale_stats.shards_quarantined
             if scale_stats.shards_lost:
                 # A torn-down pool dropped shards: whatever this round
                 # selects is best-so-far, never silently complete.
@@ -1066,6 +1088,8 @@ def _write_run_checkpoint(path: str, module: Module, config: PAConfig,
         cache_hits=result.cache_hits,
         cache_misses=result.cache_misses,
         lattice_nodes_reused=result.lattice_nodes_reused,
+        shards_retried=result.shards_retried,
+        shards_quarantined=result.shards_quarantined,
     )
     _ckpt.write_checkpoint(path, checkpoint)
     if _LEDGER.enabled:

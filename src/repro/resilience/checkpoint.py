@@ -38,6 +38,9 @@ mis_budget_exhausted / verify_retries
 cache_hits / cache_misses / lattice_nodes_reused
                     scale-engine continuity counters (additive minor;
                     default zero when absent)
+shards_retried / shards_quarantined
+                    supervised-executor continuity counters (additive
+                    minor; default zero when absent)
 =================== =================================================
 """
 
@@ -206,6 +209,11 @@ class Checkpoint:
     cache_hits: int = 0
     cache_misses: int = 0
     lattice_nodes_reused: int = 0
+    #: Supervised-executor continuity counters (same additive-minor
+    #: rules): shards that needed redelivery and shards dropped by
+    #: quarantine, cumulative across the resumed run.
+    shards_retried: int = 0
+    shards_quarantined: int = 0
 
     def to_doc(self) -> Dict[str, Any]:
         return {"schema": CKPT_SCHEMA, **self.__dict__}

@@ -57,6 +57,17 @@ scale.progress      progress bus, queue creation and event dispatch
 scale.metrics       OpenMetrics exporter, entry of the
                     ``--metrics-out`` write (the CLI must warn and
                     keep its primary outputs)
+scale.worker.crash  supervised executor, probed in the parent per
+                    shard dispatch; the dispatched worker self-kills
+                    via ``os.kill(getpid(), SIGKILL)`` — the shard
+                    must be redelivered, the output bit-identical
+scale.worker.hang   as above, but the worker sleeps forever —
+                    recovery needs ``--shard-timeout`` (or the
+                    governor's deadline teardown)
+scale.shard.poison  as above, but sticky: the shard fails every
+                    redelivery *and* the serial fallback — the
+                    quarantine path (``run.degraded``, or exit 7
+                    under ``--strict-shards``)
 =================== =================================================
 """
 
@@ -85,6 +96,9 @@ FAULT_POINTS = frozenset({
     "scale.cache",
     "scale.progress",
     "scale.metrics",
+    "scale.worker.crash",
+    "scale.worker.hang",
+    "scale.shard.poison",
 })
 
 _MODES = ("raise", "interrupt", "deadline", "corrupt")

@@ -17,10 +17,17 @@ bit-identical for any worker count and any cache state:
     serialization that moves shard results across process and cache
     boundaries.
 :mod:`repro.scale.pool`
-    The multiprocess worklist scheduler: a worker pool expands shard
+    The multiprocess worklist scheduler: a worker fleet expands shard
     lattices concurrently with deterministic merge ordering and
     governor-aware teardown (SIGINT/deadline propagate; completed
     shards are salvaged as best-so-far).
+:mod:`repro.scale.supervise`
+    The fault-tolerant shard executor under the scheduler: tracked
+    worker processes with sentinel watching (a SIGKILL'd/OOM-killed
+    worker is detected in one poll tick and its shard redelivered),
+    bounded retry with deterministic governor-aware backoff, a
+    per-shard soft timeout, and a serial-fallback-then-quarantine
+    policy for shards that keep failing.
 :mod:`repro.scale.cache`
     The content-addressed fragment cache: shard results keyed by a
     canonical content digest, held in memory across rounds and
@@ -44,8 +51,16 @@ from repro.scale.shard import (
     mine_shard,
     revive_candidates,
 )
+from repro.scale.supervise import (
+    DEFAULT_SHARD_RETRIES,
+    ShardAttempt,
+    SuperviseOutcome,
+    mine_serial,
+    supervise_mine,
+)
 
 __all__ = [
+    "DEFAULT_SHARD_RETRIES",
     "CACHE_SCHEMA",
     "CacheStats",
     "DeltaPlan",
@@ -54,12 +69,16 @@ __all__ = [
     "SHARD_SCHEMA",
     "ScaleStats",
     "Shard",
+    "ShardAttempt",
     "ShardPayload",
     "ShardResult",
+    "SuperviseOutcome",
     "build_payload",
     "cluster_dfgs",
     "edge_signatures",
+    "mine_serial",
     "mine_shard",
     "revive_candidates",
     "run_sharded_round",
+    "supervise_mine",
 ]

@@ -16,18 +16,27 @@ from the strict loader; :meth:`FragmentCache.get` converts that into a
 counted miss and deletes the bad file, so the shard is simply re-mined
 and the entry rebuilt — never a crash, and never a silent stale reuse
 (the key *is* the content, and the schema tag is checked on read).
+
+Writes are equally non-fatal: an unwritable directory, ``ENOSPC`` or
+``EACCES`` while persisting an entry must never crash a mine that
+already succeeded.  The first write failure warns once, counts
+``scale.cache.write_failed`` (and ``stats.write_failed``), and
+degrades the cache to memory-only for the rest of the run — results
+are unchanged, the next run simply starts cold.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.resilience.atomicio import atomic_write_text
 from repro.resilience.errors import CacheError
 from repro.resilience.faultinject import fault
+from repro.telemetry import GLOBAL as _TELEMETRY
 
 #: Version tag of the persisted cache entry format.  A mismatch is an
 #: invalid entry (rebuilt), not an error — old caches degrade to cold.
@@ -47,6 +56,9 @@ class CacheStats:
     invalid: int = 0          #: corrupt/truncated/mismatched entries
     memory_hits: int = 0
     disk_hits: int = 0
+    #: persist failures (ENOSPC/EACCES/...); nonzero means the cache
+    #: degraded to memory-only partway through the run
+    write_failed: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -60,7 +72,19 @@ class FragmentCache:
         self._memory: Dict[str, Dict[str, Any]] = {}
         self.stats = CacheStats()
         if directory:
-            os.makedirs(directory, exist_ok=True)
+            try:
+                os.makedirs(directory, exist_ok=True)
+            except OSError as exc:
+                self._persistence_failed(exc)
+
+    def _persistence_failed(self, exc: OSError) -> None:
+        """Degrade to memory-only for the rest of the run: warn once,
+        count the failure, stop touching the directory."""
+        self.stats.write_failed += 1
+        self.directory = None
+        _TELEMETRY.count("scale.cache.write_failed")
+        print(f"warning: fragment-cache persistence disabled ({exc})",
+              file=sys.stderr)
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
@@ -137,13 +161,19 @@ class FragmentCache:
         self._memory[key] = body
         self.stats.stores += 1
         if self.directory:
-            atomic_write_text(
-                self._path(key),
-                json.dumps(
-                    {"schema": CACHE_SCHEMA, "key": key, "result": body},
-                    sort_keys=True,
-                ),
-            )
+            try:
+                atomic_write_text(
+                    self._path(key),
+                    json.dumps(
+                        {"schema": CACHE_SCHEMA, "key": key,
+                         "result": body},
+                        sort_keys=True,
+                    ),
+                )
+            except OSError as exc:
+                # a full/readonly disk must not fail the mine that
+                # just succeeded — the entry stays in memory
+                self._persistence_failed(exc)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

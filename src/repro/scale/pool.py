@@ -31,20 +31,31 @@ Determinism invariants (the bit-identity gate relies on these):
   queue handed through the pool initializer and are drained in the
   parent's poll loop, which doubles as the straggler watchdog.
 
+Fault tolerance: shard expansion runs on the supervised executor
+(:mod:`repro.scale.supervise`) — tracked worker processes with
+sentinel watching, a bounded per-shard retry budget with deterministic
+governor-aware backoff, an optional soft timeout, and a
+serial-fallback-then-quarantine policy for shards that keep failing.
+A quarantined shard degrades the run (``run.degraded`` +
+``scale.quarantine`` ledger record) or, under ``--strict-shards``,
+raises a typed :class:`~repro.resilience.errors.ShardError` after the
+round rolls back.  Because a retried shard re-runs the same pure
+function, the crash/retry schedule is as invisible as the worker
+count.
+
 Governor-aware teardown: the parent polls the active run governor
-between completions; on SIGINT/SIGTERM/deadline it terminates the pool
-(children ignore SIGINT — delivery is the parent's decision), salvages
-every shard that already completed as the round's best-so-far, and
-reports the lost shards — mirroring the serial engine's anytime
-semantics.  Worker children run with fault injection disarmed, so
-chaos specs fire deterministically in the parent (see ``scale.pool``).
+between completions; on SIGINT/SIGTERM/deadline it tears the fleet
+down (children ignore SIGINT — delivery is the parent's decision),
+salvages every shard that already completed as the round's
+best-so-far, and reports the lost shards — mirroring the serial
+engine's anytime semantics.  Worker children run with fault injection
+disarmed, so chaos specs fire deterministically in the parent (see
+``scale.pool`` and the ``scale.worker.*``/``scale.shard.poison``
+dispatch directives).
 """
 
 from __future__ import annotations
 
-import contextlib
-import multiprocessing
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -53,8 +64,8 @@ from repro.pa.fragments import Candidate
 from repro.pa.legality import sp_fragile_functions
 from repro.pa.liveness import lr_live_out_blocks
 from repro.report.ledger import GLOBAL as _LEDGER
-from repro.resilience import governor as _governor
-from repro.resilience.faultinject import disarm_all, fault
+from repro.resilience.errors import ShardError
+from repro.resilience.faultinject import fault
 from repro.resilience.governor import RunGovernor
 from repro.telemetry import GLOBAL as _TELEMETRY
 from repro.telemetry import progress as _progress
@@ -67,8 +78,13 @@ from repro.scale.shard import (
     ShardPayload,
     ShardResult,
     build_payload,
-    mine_shard,
     revive_candidates,
+)
+from repro.scale.supervise import (
+    DEFAULT_SHARD_RETRIES,
+    SuperviseOutcome,
+    mine_serial,
+    supervise_mine,
 )
 
 #: shard tally key -> the serial funnel's telemetry counter name
@@ -104,146 +120,15 @@ class ScaleStats:
     #: (they may still have completed — stalled flags imbalance, not
     #: loss)
     stragglers: int = 0
+    #: shard redeliveries (worker death / timeout / failed attempt)
+    shard_retries: int = 0
+    #: distinct shards that needed more than one delivery
+    shards_retried: int = 0
+    #: exhausted shards recovered by the in-parent serial fallback
+    shard_fallbacks: int = 0
+    #: shards dropped after retries and the serial fallback all failed
+    shards_quarantined: int = 0
     tallies: Dict[str, int] = field(default_factory=dict)
-
-
-@contextlib.contextmanager
-def _suppressed_ledger():
-    """Silence ledger emission around in-process shard mining: shard
-    funnels never write decision records directly — the parent emits
-    per-shard ledger records itself, identically for every worker
-    count.  (Telemetry is handled separately by the capture scope.)"""
-    ledger_was = _LEDGER.enabled
-    _LEDGER.enabled = False
-    try:
-        yield
-    finally:
-        _LEDGER.enabled = ledger_was
-
-
-def _worker_init(progress_queue=None) -> None:
-    """Runs once in every pool child before it accepts work.
-
-    SIGINT is ignored (teardown is the parent's decision — it
-    ``terminate()``s the pool, which delivers SIGTERM); inherited
-    instrumentation registries and armed fault specs are cleared so a
-    child neither double-counts nor fires parent-targeted chaos specs.
-    When the parent runs a progress bus, its queue arrives here (mp
-    queues only cross the fork through the initializer) and the child's
-    publish hooks are routed onto it.
-    """
-    import signal
-
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
-    # The CLI parent runs under the governor's graceful SIGTERM handler
-    # (set a flag, finish the round); a forked child inherits it, which
-    # would turn ``pool.terminate()``'s SIGTERM into a no-op and hang
-    # ``pool.join()``.  Children must die on SIGTERM.
-    signal.signal(signal.SIGTERM, signal.SIG_DFL)
-    disarm_all()
-    _TELEMETRY.enabled = False
-    _LEDGER.enabled = False
-    # also drops any bus inherited from the parent through fork
-    _progress.worker_attach(progress_queue)
-
-
-def _mine_shard_job(payload: ShardPayload, budget: Optional[float],
-                    capture_telemetry: bool = False) -> ShardResult:
-    """Pool entry point: mine one shard under a child-local governor.
-
-    With *capture_telemetry*, the mine records spans/counters into an
-    isolated scope whose snapshot rides back on the (transient)
-    ``result.telemetry`` field for the parent to stitch in.
-    """
-    child_governor = RunGovernor(time_budget=budget)
-    with _governor.activate(child_governor):
-        if not capture_telemetry:
-            return mine_shard(payload)
-        with _remote.capture() as captured:
-            result = mine_shard(payload)
-        result.telemetry = captured.snapshot
-        return result
-
-
-def _mine_parallel(
-    to_mine: List[Tuple[Shard, ShardPayload, str]],
-    workers: int,
-    governor: RunGovernor,
-    bus=None,
-    capture_telemetry: bool = False,
-) -> Tuple[Dict[int, ShardResult], List[int], bool, int]:
-    """Expand the missing shards on a worker pool.
-
-    Returns ``(completed by shard index, lost shard indices,
-    torn_down, stragglers)``.  Dispatch order is largest-first (by
-    payload size) for load balance; it cannot affect results — only
-    which shards finish before a teardown.  When a progress *bus* is
-    active, its worker queue rides into the children through the pool
-    initializer, the poll loop drains it, and stale heartbeats are
-    flagged as stragglers (counted on the governor so degradation
-    notes surface them).
-    """
-    order = sorted(
-        range(len(to_mine)),
-        key=lambda i: (
-            -sum(len(insns) for insns in to_mine[i][1].block_insns),
-            to_mine[i][0].index,
-        ),
-    )
-    completed: Dict[int, ShardResult] = {}
-    torn_down = False
-    stragglers = 0
-    queue = bus.worker_queue() if bus is not None else None
-    pool = multiprocessing.Pool(
-        processes=min(workers, len(to_mine)),
-        initializer=_worker_init,
-        initargs=(queue,),
-    )
-    pending: Dict[int, object] = {}
-    try:
-        budget = governor.remaining()
-        for i in order:
-            shard, payload, __ = to_mine[i]
-            pending[shard.index] = pool.apply_async(
-                _mine_shard_job, (payload, budget, capture_telemetry)
-            )
-        while pending:
-            if bus is not None:
-                bus.drain()
-                for shard_index in bus.stragglers():
-                    stragglers += 1
-                    governor.count("scale.stragglers")
-                    _TELEMETRY.count("scale.shards.stalled")
-            if governor.should_stop():
-                torn_down = True
-                break
-            progressed = False
-            for index in sorted(pending):
-                handle = pending[index]
-                if handle.ready():
-                    # a child exception (a real bug; chaos specs are
-                    # disarmed there) re-raises here and unwinds
-                    # through the driver's round rollback
-                    completed[index] = handle.get()
-                    del pending[index]
-                    progressed = True
-            if pending and not progressed:
-                time.sleep(0.01)
-        if not pending:
-            pool.close()
-        else:
-            torn_down = True
-            pool.terminate()
-    except BaseException:
-        torn_down = True
-        pool.terminate()
-        raise
-    finally:
-        pool.join()
-    if bus is not None:
-        # events the children flushed before exiting
-        bus.drain()
-    return completed, sorted(pending), torn_down, stragglers
 
 
 def run_sharded_round(
@@ -307,34 +192,31 @@ def run_sharded_round(
         )
         lost: List[int] = []
         torn_down = False
+        sup: Optional[SuperviseOutcome] = None
+        retry_budget = getattr(config, "shard_retries",
+                               DEFAULT_SHARD_RETRIES)
         if to_mine:
             fault("scale.pool")
             with _TELEMETRY.span("scale.mine", shards=len(to_mine)):
                 if workers <= 1:
-                    with _suppressed_ledger():
-                        for shard, payload, digest in to_mine:
-                            if governor.should_stop():
-                                lost.append(shard.index)
-                                torn_down = True
-                                continue
-                            with _remote.capture(
-                                enabled=capture_telemetry
-                            ) as captured:
-                                result = mine_shard(payload)
-                            result.telemetry = captured.snapshot
-                            results[shard.index] = result
-                            if bus is not None:
-                                for __ in bus.stragglers():
-                                    stats.stragglers += 1
-                                    governor.count("scale.stragglers")
-                                    _TELEMETRY.count(
-                                        "scale.shards.stalled")
+                    sup = mine_serial(to_mine, governor, bus,
+                                      capture_telemetry,
+                                      retries=retry_budget)
                 else:
-                    completed, lost, torn_down, stalled = \
-                        _mine_parallel(to_mine, workers, governor,
-                                       bus, capture_telemetry)
-                    results.update(completed)
-                    stats.stragglers = stalled
+                    sup = supervise_mine(
+                        to_mine, workers, governor, bus,
+                        capture_telemetry,
+                        retries=retry_budget,
+                        timeout=getattr(config, "shard_timeout", None),
+                    )
+                results.update(sup.completed)
+                lost = sup.lost
+                torn_down = sup.torn_down
+                stats.stragglers = sup.stragglers
+                stats.shard_retries = sup.retries
+                stats.shards_retried = sup.shards_retried
+                stats.shard_fallbacks = sup.fallbacks
+                stats.shards_quarantined = len(sup.dropped)
                 if capture_telemetry:
                     # stitch worker telemetry in deterministic shard
                     # order, inside the scale.mine span so worker
@@ -397,10 +279,16 @@ def run_sharded_round(
                              stats.lattice_nodes_reused)
             _TELEMETRY.count("scale.lattice_nodes.mined",
                              stats.lattice_nodes_mined)
+            _TELEMETRY.count("scale.shard.retries",
+                             stats.shard_retries)
+            _TELEMETRY.count("scale.shards.quarantined",
+                             stats.shards_quarantined)
             for key in sorted(tallies):
                 counter = _TALLY_COUNTERS.get(key)
                 if counter and tallies[key]:
                     _TELEMETRY.count(counter, tallies[key])
+        dropped = ({q["shard"] for q in sup.dropped}
+                   if sup is not None else set())
         if _LEDGER.enabled:
             for shard, payload, digest in zip(shards, payloads, digests):
                 result = results.get(shard.index)
@@ -417,7 +305,25 @@ def run_sharded_round(
                     lattice_nodes=(result.lattice_nodes
                                    if result else None),
                     lost=shard.index in lost,
+                    quarantined=shard.index in dropped,
                 )
+            if sup is not None:
+                for attempt in sup.failures:
+                    _LEDGER.emit(
+                        "scale.retry",
+                        shard=attempt.shard,
+                        attempt=attempt.attempt,
+                        error=attempt.error,
+                        retried=attempt.will_retry,
+                    )
+                for q in sup.quarantined:
+                    _LEDGER.emit(
+                        "scale.quarantine",
+                        shard=q["shard"],
+                        attempts=q["attempts"],
+                        error=q["error"],
+                        recovered=q["recovered"],
+                    )
             _LEDGER.emit(
                 "scale.round",
                 workers=workers,
@@ -432,6 +338,9 @@ def run_sharded_round(
                 delta_clean=stats.delta_clean,
                 delta_dirty=stats.delta_dirty,
                 stragglers=stats.stragglers,
+                retries=stats.shard_retries,
+                fallbacks=stats.shard_fallbacks,
+                quarantined=stats.shards_quarantined,
                 candidates=len(merged),
             )
             if torn_down or lost:
@@ -441,4 +350,20 @@ def run_sharded_round(
                     lost=sorted(lost),
                     candidates=len(merged),
                 )
+        if stats.shards_quarantined:
+            # the merge above already excluded the dropped shards; the
+            # run continues degraded — unless the user asked for
+            # strictness, in which case the round rolls back and the
+            # failure surfaces as a documented exit code
+            governor.note("shards_quarantined")
+            if getattr(config, "strict_shards", False):
+                assert sup is not None
+                detail = "; ".join(
+                    f"shard {q['shard']}: {q['error']}"
+                    for q in sup.dropped)
+                raise ShardError(
+                    f"{stats.shards_quarantined} shard(s) quarantined "
+                    f"after {retry_budget} retr"
+                    f"{'y' if retry_budget == 1 else 'ies'} and the "
+                    f"serial fallback ({detail})")
     return merged, stats

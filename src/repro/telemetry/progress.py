@@ -26,8 +26,20 @@ bit-identical.
 Failure containment: the ``scale.progress`` fault point fires inside
 :meth:`ProgressBus.dispatch` and queue creation; *any* exception there
 marks the bus broken and detaches it — mining must never hang or die
-because its progress feed did (see the chaos matrix).  A worker whose
-queue put fails silently detaches itself and keeps mining.
+because its progress feed did (see the chaos matrix).  The worker
+queue is *bounded* (``QUEUE_MAX``) so a stalled parent can never
+back-pressure or deadlock a worker: a full queue drops the event and
+counts it, and the next event that does get through carries the drop
+count in its ``dropped`` field — the parent accumulates it into
+``bus.dropped``/``counts["bus.dropped"]``, so losses are visible in
+the stats and the events stream rather than silent.  A worker whose
+queue put fails for any other reason detaches itself and keeps
+mining.
+
+Event kinds: ``stream.begin``, ``round.start``, ``round.shards``,
+``shard.start``, ``heartbeat``, ``shard.done``, ``shard.stalled``,
+``shard.retry``, ``shard.quarantined``, ``round.done``, ``run.done``
+— consumers must ignore unknown kinds and fields.
 """
 
 from __future__ import annotations
@@ -54,6 +66,11 @@ HEARTBEAT_INTERVAL = 0.25
 #: Default seconds without a heartbeat before a shard counts as stalled.
 STALL_AFTER = 30.0
 
+#: Worker-queue capacity.  Deep enough that drops only happen when the
+#: parent has stopped draining for a long while; bounded so workers
+#: can never block or balloon memory behind a stalled parent.
+QUEUE_MAX = 10000
+
 #: TTY status line refresh interval (seconds).
 _RENDER_INTERVAL = 0.05
 
@@ -63,6 +80,9 @@ _RENDER_INTERVAL = 0.05
 _BUS: Optional["ProgressBus"] = None
 _WORKER_QUEUE = None
 _NEXT_BEAT = 0.0
+#: events this worker dropped on a full queue since the last event
+#: that got through (rides on the next successful put as ``dropped``)
+_DROPPED = 0
 
 
 def active() -> Optional["ProgressBus"]:
@@ -90,15 +110,16 @@ def worker_attach(q) -> None:
     Also clears any bus inherited through ``fork`` — a child must never
     write the parent's TTY or JSONL stream directly.
     """
-    global _BUS, _WORKER_QUEUE, _NEXT_BEAT
+    global _BUS, _WORKER_QUEUE, _NEXT_BEAT, _DROPPED
     _BUS = None
     _WORKER_QUEUE = q
     _NEXT_BEAT = 0.0
+    _DROPPED = 0
 
 
 def publish(kind: str, **fields) -> None:
     """Emit one progress event; near-free when nothing is attached."""
-    global _WORKER_QUEUE
+    global _WORKER_QUEUE, _DROPPED
     if _WORKER_QUEUE is None and _BUS is None:
         return
     event: Dict[str, Any] = {
@@ -108,13 +129,22 @@ def publish(kind: str, **fields) -> None:
     }
     event.update(fields)
     if _WORKER_QUEUE is not None:
+        if _DROPPED:
+            event["dropped"] = _DROPPED
         try:
             _WORKER_QUEUE.put_nowait(event)
+        except _queuelib.Full:
+            # The queue is bounded so a stalled parent can never
+            # back-pressure a worker: drop the event, count it, stay
+            # attached — the next event that fits carries the count.
+            _DROPPED += 1
         except Exception:
-            # A broken/full pipe must never take mining down: detach
-            # and mine on silently (the parent's watchdog will notice
-            # the silence as a stall, which is the honest signal).
+            # A broken pipe must never take mining down: detach and
+            # mine on silently (the parent's watchdog will notice the
+            # silence as a stall, which is the honest signal).
             _WORKER_QUEUE = None
+        else:
+            _DROPPED = 0
     else:
         _BUS.dispatch(event)
 
@@ -144,12 +174,15 @@ class ProgressBus:
         self.stall_after = stall_after
         self.broken = False
         self.counts: Dict[str, int] = {}
+        #: worker events lost to a full queue (accumulated from the
+        #: ``dropped`` field events carry after an overflow)
+        self.dropped = 0
         #: shard index -> monotonic time of its last sign of life
         self.inflight: Dict[int, float] = {}
         self.stalled: set = set()
         self.status: Dict[str, Any] = {
             "round": None, "shards": 0, "done": 0, "cache_hits": 0,
-            "saved": 0, "nodes": 0,
+            "saved": 0, "nodes": 0, "retried": 0, "quarantined": 0,
         }
         self._nodes_by_shard: Dict[int, int] = {}
         self._handle = None
@@ -179,7 +212,9 @@ class ProgressBus:
                 fault("scale.progress")
                 import multiprocessing
 
-                self._queue = multiprocessing.Queue()
+                # bounded: a stalled parent must never back-pressure
+                # or deadlock a publishing worker (drop-with-counter)
+                self._queue = multiprocessing.Queue(maxsize=QUEUE_MAX)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
@@ -282,6 +317,11 @@ class ProgressBus:
     def _track(self, event: Dict[str, Any]) -> None:
         kind = event.get("kind", "?")
         self.counts[kind] = self.counts.get(kind, 0) + 1
+        lost = event.get("dropped")
+        if lost:
+            self.dropped += lost
+            self.counts["bus.dropped"] = \
+                self.counts.get("bus.dropped", 0) + lost
         status = self.status
         shard = event.get("shard")
         now = time.monotonic()
@@ -309,6 +349,15 @@ class ProgressBus:
             if nodes is not None:
                 self._nodes_by_shard[shard] = nodes
                 status["nodes"] = sum(self._nodes_by_shard.values())
+        elif kind == "shard.retry" and shard is not None:
+            # redelivery pending: the shard is not in flight while it
+            # backs off, so the watchdog must not call it stalled
+            self.inflight.pop(shard, None)
+            status["retried"] += 1
+        elif kind == "shard.quarantined" and shard is not None:
+            self.inflight.pop(shard, None)
+            if not event.get("recovered"):
+                status["quarantined"] += 1
         elif kind == "round.done":
             status["saved"] += event.get("saved", 0)
             self._nodes_by_shard.clear()
@@ -330,6 +379,10 @@ class ProgressBus:
         if s["nodes"]:
             parts.append(f"{s['nodes']} nodes")
         parts.append(f"saved {s['saved']}")
+        if s["retried"]:
+            parts.append(f"retried {s['retried']}")
+        if s["quarantined"]:
+            parts.append(f"quarantined {s['quarantined']}")
         if self.stalled:
             parts.append(f"stalled {len(self.stalled)}")
         line = "[pa] " + " | ".join(parts)
@@ -340,6 +393,7 @@ class ProgressBus:
 __all__ = [
     "EVENTS_SCHEMA",
     "HEARTBEAT_INTERVAL",
+    "QUEUE_MAX",
     "STALL_AFTER",
     "ProgressBus",
     "activate",

@@ -109,6 +109,41 @@ def test_cache_error_is_a_typed_repro_error():
     assert error.exit_code == 6
 
 
+def test_unwritable_put_degrades_to_memory_only(
+        tmp_path, monkeypatch, capsys):
+    """ENOSPC/EACCES while persisting must not fail the mine that just
+    succeeded: the entry stays in memory, the cache goes memory-only
+    for the rest of the run, and exactly one warning is printed."""
+    cache = FragmentCache(str(tmp_path))
+
+    def boom(path, text):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr("repro.scale.cache.atomic_write_text", boom)
+    cache.put(KEY, BODY)                     # must not raise
+    assert cache.get(KEY) == BODY            # memory tier still serves
+    assert cache.stats.write_failed == 1
+    assert cache.directory is None           # degraded for the run
+    err = capsys.readouterr().err
+    assert "fragment-cache persistence disabled" in err
+
+    cache.put("d" * 64, BODY)                # later puts: memory only,
+    assert cache.stats.write_failed == 1     # no repeat failure...
+    assert capsys.readouterr().err == ""     # ...and no repeat warning
+
+
+def test_unmakeable_directory_degrades_at_open(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")                   # makedirs hits a file
+    cache = FragmentCache(str(blocker / "cache"))
+    assert cache.directory is None
+    assert cache.stats.write_failed == 1
+    assert "fragment-cache persistence disabled" in \
+        capsys.readouterr().err
+    cache.put(KEY, BODY)                     # memory-only, but alive
+    assert cache.get(KEY) == BODY
+
+
 def test_injected_cache_corruption_never_crashes_a_run(tmp_path):
     """End to end: an armed ``scale.cache:corrupt`` fault makes every
     persisted-entry load fail, and the run still completes with the

@@ -1,9 +1,11 @@
 """The progress bus: routing, JSONL schema, TTY line, heartbeat rate
-limit, straggler watchdog, and graceful degradation on the
+limit, straggler watchdog, bounded worker queue (drop-with-counter),
+retry/quarantine tracking, and graceful degradation on the
 ``scale.progress`` fault point."""
 
 import io
 import json
+import queue
 
 import pytest
 
@@ -116,6 +118,84 @@ class TestWatchdog:
         bus.dispatch({"kind": "shard.start", "shard": 7})
         bus.dispatch({"kind": "shard.done", "shard": 7})
         assert bus.stragglers() == []
+
+
+class TestBoundedQueue:
+    def test_worker_queue_is_bounded(self):
+        bus = ProgressBus()
+        q = bus.worker_queue()
+        assert q._maxsize == progress.QUEUE_MAX
+        bus.close()
+
+    def test_full_queue_drops_counts_and_piggybacks(self):
+        """A full queue never blocks or detaches the worker: events are
+        dropped and counted, and the first event that fits carries the
+        loss in its ``dropped`` field (then the counter resets)."""
+        class FullQueue:
+            def __init__(self):
+                self.events = []
+                self.full = True
+
+            def put_nowait(self, event):
+                if self.full:
+                    raise queue.Full
+                self.events.append(event)
+
+        fq = FullQueue()
+        progress.worker_attach(fq)
+        progress.publish("shard.done", shard=1)
+        progress.publish("shard.done", shard=2)
+        assert fq.events == []                       # dropped, no raise
+        fq.full = False
+        progress.publish("shard.done", shard=3)
+        progress.publish("shard.done", shard=4)
+        assert fq.events[0]["dropped"] == 2
+        assert "dropped" not in fq.events[1]         # counter reset
+
+    def test_broken_queue_detaches_full_queue_does_not(self):
+        class BrokenQueue:
+            def put_nowait(self, event):
+                raise OSError("broken pipe")
+
+        progress.worker_attach(BrokenQueue())
+        progress.publish("shard.done", shard=1)      # detaches, no raise
+        assert progress._WORKER_QUEUE is None
+
+    def test_parent_accumulates_drop_counts(self):
+        bus = ProgressBus()
+        bus.dispatch({"kind": "shard.done", "shard": 1, "dropped": 3})
+        bus.dispatch({"kind": "shard.done", "shard": 2, "dropped": 2})
+        assert bus.dropped == 5
+        assert bus.counts["bus.dropped"] == 5
+
+
+class TestRetryTracking:
+    def test_retrying_shard_is_not_stalled_during_backoff(self):
+        bus = ProgressBus(stall_after=0.0)
+        bus.dispatch({"kind": "shard.start", "shard": 7})
+        bus.dispatch({"kind": "shard.retry", "shard": 7, "attempt": 1})
+        assert bus.stragglers() == []        # backing off, not stuck
+        assert bus.status["retried"] == 1
+
+    def test_quarantine_counts_only_unrecovered_drops(self):
+        bus = ProgressBus()
+        bus.dispatch({"kind": "shard.quarantined", "shard": 3,
+                      "recovered": True})
+        bus.dispatch({"kind": "shard.quarantined", "shard": 4,
+                      "recovered": False})
+        assert bus.status["quarantined"] == 1
+
+    def test_status_line_shows_retries_and_quarantines(self):
+        tty = io.StringIO()
+        bus = ProgressBus(tty=tty)
+        bus._last_render = -1000.0
+        bus.dispatch({"kind": "shard.retry", "shard": 1, "attempt": 1})
+        bus._last_render = -1000.0
+        bus.dispatch({"kind": "shard.quarantined", "shard": 2,
+                      "recovered": False})
+        line = tty.getvalue().split("\r")[-1]
+        assert "retried 1" in line
+        assert "quarantined 1" in line
 
 
 class TestFaultDegradation:
